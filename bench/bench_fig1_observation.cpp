@@ -1,0 +1,121 @@
+// Experiment E2 — reproduces **Figure 1**: "Illustration of the three HI
+// definitions" on a register execution:
+//
+//     w:  |--- Write(2) ---|        |--- Write(4) ---|
+//     r:            |--- Read ---|
+//     points:  ①         ②        ③ (mid-Write)      ④
+//
+//   Perfect HI         : observer may look at ①②③④ (and everywhere else)
+//   State-quiescent HI : ①②④ (no state-changing op pending)
+//   Quiescent HI       : ①④ (nothing pending)
+//
+// The binary replays this schedule on Algorithms 1, 2 and 4 and prints the
+// memory representation at the four points, making the definitions — and the
+// leaks — visible: Algorithm 1 leaks at every point; Algorithm 2's mid-write
+// point ③ is off-canon (allowed: it only claims state-quiescent HI);
+// Algorithm 4 additionally shows reader traces at ② (allowed: it only claims
+// quiescent HI).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/hi_register_lockfree.h"
+#include "core/hi_register_waitfree.h"
+#include "core/vidyasankar.h"
+#include "sim/harness.h"
+#include "sim/memory.h"
+#include "sim/scheduler.h"
+#include "spec/register_spec.h"
+
+namespace hi {
+namespace {
+
+constexpr int kWriter = 0;
+constexpr int kReader = 1;
+constexpr std::uint32_t kValues = 5;
+
+template <typename Impl>
+void replay(const char* name) {
+  spec::RegisterSpec spec(kValues, 2);
+  sim::Memory memory;
+  sim::Scheduler sched(2);
+  Impl impl(memory, spec, kWriter, kReader);
+
+  std::printf("--- %s ---\n", name);
+  std::printf("  point 1 (quiescent, value=2):        %s\n",
+              memory.dump().c_str());
+
+  // Write(2) completes (it is also the initial value; rewrite it to make the
+  // execution concrete), with a Read overlapping its tail.
+  sim::OpTask<std::uint32_t> write2 = impl.write(kWriter, 2);
+  sched.start(kWriter, write2);
+  sched.step(kWriter);  // A[2] <- 1
+  sim::OpTask<std::uint32_t> read = impl.read(kReader);
+  sched.start(kReader, read);
+  sched.step(kReader);  // reader's first step (overlaps the write)
+  while (sched.runnable(kWriter)) sched.step(kWriter);
+  sched.finish(kWriter);
+
+  // Point 2: Read pending, no Write pending — state-quiescent.
+  std::printf("  point 2 (read pending, value=2):     %s\n",
+              memory.dump().c_str());
+
+  while (sched.runnable(kReader)) sched.step(kReader);
+  sched.finish(kReader);
+  const std::uint32_t read_value = read.take_result();
+
+  // Write(4) starts; stop it mid-flight.
+  sim::OpTask<std::uint32_t> write4 = impl.write(kWriter, 4);
+  sched.start(kWriter, write4);
+  for (int i = 0; i < 2 && sched.runnable(kWriter); ++i) sched.step(kWriter);
+
+  // Point 3: Write pending — only perfect HI would allow observing here.
+  std::printf("  point 3 (mid-Write(4)):              %s\n",
+              memory.dump().c_str());
+
+  while (sched.runnable(kWriter)) sched.step(kWriter);
+  sched.finish(kWriter);
+
+  std::printf("  point 4 (quiescent, value=4):        %s\n",
+              memory.dump().c_str());
+  std::printf("  (the overlapping Read returned %u)\n\n", read_value);
+}
+
+void print_figure1() {
+  std::printf(
+      "=== Figure 1: observation points under the three HI definitions ===\n"
+      "Execution: Write(2) || Read , then Write(4); K=%u, initial value 2.\n"
+      "Perfect HI allows points 1-4; state-quiescent HI allows 1,2,4;\n"
+      "quiescent HI allows 1,4.\n\n",
+      kValues);
+  replay<core::VidyasankarRegister>(
+      "Algorithm 1 (Vidyasankar) — leaks even at quiescent points");
+  replay<core::LockFreeHiRegister>(
+      "Algorithm 2 — canonical at 1,2,4 (state-quiescent HI)");
+  replay<core::WaitFreeHiRegister>(
+      "Algorithm 4 — canonical at 1,4 (quiescent HI); traces allowed at 2,3");
+}
+
+// Timing: cost of taking a memory snapshot at an observation point.
+void BM_SnapshotCost(benchmark::State& state) {
+  spec::RegisterSpec spec(kValues, 2);
+  sim::Memory memory;
+  sim::Scheduler sched(2);
+  core::WaitFreeHiRegister impl(memory, spec, kWriter, kReader);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory.snapshot());
+  }
+}
+BENCHMARK(BM_SnapshotCost);
+
+}  // namespace
+}  // namespace hi
+
+int main(int argc, char** argv) {
+  hi::print_figure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Experiments E7 + E8 — the impossibility theorems as measurements:
+//
+//   Theorem 17: no wait-free state-quiescent-HI register from binary
+//   registers. The Lemma 16 pigeonhole adversary drives Algorithm 2's
+//   reader; its step count grows LINEARLY with adversary rounds and it
+//   never returns (the same series against Algorithm 4 terminates within
+//   its wait-freedom bound — the matching possibility).
+//
+//   Theorem 20: the queue-with-Peek analogue via S(i1,i2) representative
+//   walks against the strawman HI queue.
+//
+// Output: one series per victim — rounds vs reader steps vs returned?.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "adversary/queue_adversary.h"
+#include "adversary/reader_adversary.h"
+#include "baseline/strawman_queue.h"
+#include "core/hi_register_lockfree.h"
+#include "core/hi_register_waitfree.h"
+#include "sim/harness.h"
+
+namespace hi {
+namespace {
+
+constexpr int kWriter = 0;
+constexpr int kReader = 1;
+
+template <typename Impl>
+struct RegisterSys {
+  spec::RegisterSpec spec;
+  sim::Memory memory;
+  sim::Scheduler sched;
+  Impl impl;
+
+  explicit RegisterSys(std::uint32_t k)
+      : spec(k, 1), sched(2), impl(memory, spec, kWriter, kReader) {}
+};
+
+template <typename Impl>
+adversary::CanonicalMap register_canon(std::uint32_t k) {
+  adversary::CanonicalMap canon;
+  for (std::uint32_t v = 1; v <= k; ++v) {
+    RegisterSys<Impl> sys(k);
+    if (v != 1) {
+      (void)sim::run_solo(sys.sched, kWriter, sys.impl.write(kWriter, v));
+    }
+    canon.emplace(v, sys.memory.snapshot());
+  }
+  return canon;
+}
+
+template <typename Impl>
+void register_series(const char* name, std::uint32_t k) {
+  std::printf("%s (K=%u):\n", name, k);
+  std::printf("  %10s %14s %10s\n", "rounds", "reader-steps", "returned");
+  const auto canon = register_canon<Impl>(k);
+  for (std::uint64_t rounds : {100ull, 1000ull, 10000ull, 100000ull}) {
+    RegisterSys<Impl> sys(k);
+    const auto plan = adversary::ct_plan(sys.spec);
+    const auto result = adversary::run_starvation(
+        sys.spec, sys.memory, sys.sched, sys.impl, plan, canon, kWriter,
+        kReader, rounds);
+    std::printf("  %10llu %14llu %10s\n",
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(result.reader_steps),
+                result.reader_returned ? "yes" : "no");
+    if (result.reader_returned) break;  // wait-free victim: series is flat
+  }
+  std::printf("\n");
+}
+
+void queue_series(std::uint32_t domain) {
+  std::printf("Strawman queue Peek under Theorem 20 adversary (t=%u):\n",
+              domain);
+  std::printf("  %10s %14s %10s\n", "rounds", "reader-steps", "returned");
+  const spec::QueueSpec spec(domain, 4);
+  adversary::CanonicalMap canon;
+  for (std::uint32_t i = 0; i <= domain; ++i) {
+    sim::Memory memory;
+    sim::Scheduler sched(2);
+    baseline::StrawmanQueue impl(memory, spec, kWriter, kReader);
+    if (i != 0) {
+      for (const auto& op : spec.change_seq(0, i)) {
+        (void)sim::run_solo(sched, kWriter, impl.apply(kWriter, op));
+      }
+    }
+    canon.emplace(spec.encode_state(spec.representative(i)),
+                  memory.snapshot());
+  }
+  for (std::uint64_t rounds : {100ull, 1000ull, 10000ull, 100000ull}) {
+    sim::Memory memory;
+    sim::Scheduler sched(2);
+    baseline::StrawmanQueue impl(memory, spec, kWriter, kReader);
+    const auto plan = adversary::queue_plan(spec);
+    const auto result = adversary::run_starvation(
+        spec, memory, sched, impl, plan, canon, kWriter, kReader, rounds);
+    std::printf("  %10llu %14llu %10s\n",
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(result.reader_steps),
+                result.reader_returned ? "yes" : "no");
+  }
+  std::printf("\n");
+}
+
+void print_series() {
+  std::printf("=== Theorems 17 & 20: reader starvation series ===\n"
+              "The starved victims' reader steps grow linearly with rounds\n"
+              "and never return; the wait-free control returns immediately.\n\n");
+  register_series<core::LockFreeHiRegister>(
+      "Algorithm 2 reader (state-quiescent HI, hence starvable)", 5);
+  register_series<core::WaitFreeHiRegister>(
+      "Algorithm 4 reader (wait-free control: adversary fails)", 5);
+  queue_series(4);
+}
+
+// Timing: adversary round cost (one full o_change + pigeonhole search).
+void BM_AdversaryRound(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  const auto canon = register_canon<core::LockFreeHiRegister>(k);
+  RegisterSys<core::LockFreeHiRegister> sys(k);
+  const auto plan = adversary::ct_plan(sys.spec);
+  // One long adversary run, measuring amortized per-round cost.
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    RegisterSys<core::LockFreeHiRegister> fresh(k);
+    state.ResumeTiming();
+    const auto result = adversary::run_starvation(
+        fresh.spec, fresh.memory, fresh.sched, fresh.impl, plan, canon,
+        kWriter, kReader, 1000);
+    rounds += result.rounds_executed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+}
+BENCHMARK(BM_AdversaryRound)->Arg(3)->Arg(5)->Arg(8);
+
+}  // namespace
+}  // namespace hi
+
+int main(int argc, char** argv) {
+  hi::print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Register algorithms on hardware (Table 1's rows as performance): write and
+// read costs of Algorithms 1, 2 and 4, the price of upward clearing (Alg 2
+// vs Alg 1) and of the helping protocol (Alg 4), plus the progress shape: a
+// read's TryRead-attempt distribution under a hot writer — Algorithm 2's
+// tail is unbounded (lock-free), Algorithm 4's is exactly ≤ 2 attempts
+// before falling back to B (wait-free).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "rt/registers_rt.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hi {
+namespace {
+
+constexpr std::uint32_t kValues = 16;
+
+template <typename Reg>
+void BM_SoloWrite(benchmark::State& state) {
+  Reg reg(kValues);
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    reg.write(static_cast<std::uint32_t>(rng.next_in(1, kValues)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoloWrite<rt::RtVidyasankarRegister>)->Name("alg1/solo_write");
+BENCHMARK(BM_SoloWrite<rt::RtLockFreeHiRegister>)->Name("alg2/solo_write");
+BENCHMARK(BM_SoloWrite<rt::RtWaitFreeHiRegister>)->Name("alg4/solo_write");
+
+void BM_SoloReadAlg1(benchmark::State& state) {
+  rt::RtVidyasankarRegister reg(kValues, kValues / 2);
+  for (auto _ : state) benchmark::DoNotOptimize(reg.read());
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_SoloReadAlg2(benchmark::State& state) {
+  rt::RtLockFreeHiRegister reg(kValues, kValues / 2);
+  for (auto _ : state) benchmark::DoNotOptimize(reg.read());
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_SoloReadAlg4(benchmark::State& state) {
+  rt::RtWaitFreeHiRegister reg(kValues, kValues / 2);
+  for (auto _ : state) benchmark::DoNotOptimize(reg.read());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoloReadAlg1)->Name("alg1/solo_read");
+BENCHMARK(BM_SoloReadAlg2)->Name("alg2/solo_read");
+BENCHMARK(BM_SoloReadAlg4)->Name("alg4/solo_read");
+
+// Contended write throughput: writer thread with a concurrent reader.
+template <typename Reg>
+void contended(benchmark::State& state) {
+  static Reg* reg = nullptr;
+  static std::atomic<bool>* stop = nullptr;
+  static std::thread* reader = nullptr;
+  if (state.thread_index() == 0) {
+    reg = new Reg(kValues);
+    stop = new std::atomic<bool>{false};
+    reader = new std::thread([&] {
+      while (!stop->load(std::memory_order_acquire)) {
+        if constexpr (requires { reg->read(std::uint64_t{1}); }) {
+          benchmark::DoNotOptimize(reg->read(1000));
+        } else {
+          benchmark::DoNotOptimize(reg->read());
+        }
+      }
+    });
+  }
+  util::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    reg->write(static_cast<std::uint32_t>(rng.next_in(1, kValues)));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    stop->store(true, std::memory_order_release);
+    reader->join();
+    delete reader;
+    delete stop;
+    delete reg;
+    reg = nullptr;
+  }
+}
+BENCHMARK(contended<rt::RtVidyasankarRegister>)->Name("alg1/contended_write");
+BENCHMARK(contended<rt::RtLockFreeHiRegister>)->Name("alg2/contended_write");
+BENCHMARK(contended<rt::RtWaitFreeHiRegister>)->Name("alg4/contended_write");
+
+// ---- Progress-shape section: read attempts under a hot writer ----
+
+void print_attempt_distribution() {
+  std::printf(
+      "=== read progress under a hot writer (K=%u) ===\n"
+      "Algorithm 2: TryRead attempts until success (lock-free: long tail);\n"
+      "Algorithm 4: reads always complete (wait-free, helped via B).\n\n",
+      kValues);
+  {
+    rt::RtLockFreeHiRegister reg(kValues);
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      util::Xoshiro256 rng(3);
+      while (!stop.load(std::memory_order_acquire)) {
+        reg.write(static_cast<std::uint32_t>(rng.next_in(1, kValues)));
+      }
+    });
+    util::Samples attempts;
+    std::uint64_t failures = 0;
+    for (int i = 0; i < 20000; ++i) {
+      std::uint64_t tries = 0;
+      for (;;) {
+        ++tries;
+        if (reg.read(1).has_value()) break;
+        if (tries >= 10000) {  // declare starved for reporting purposes
+          ++failures;
+          break;
+        }
+      }
+      attempts.add(tries);
+    }
+    stop.store(true, std::memory_order_release);
+    writer.join();
+    std::printf(
+        "alg2: attempts p50=%llu p99=%llu max=%llu; reads giving up after "
+        "10000 attempts: %llu\n",
+        static_cast<unsigned long long>(attempts.percentile(0.5)),
+        static_cast<unsigned long long>(attempts.percentile(0.99)),
+        static_cast<unsigned long long>(attempts.max()),
+        static_cast<unsigned long long>(failures));
+  }
+  {
+    rt::RtWaitFreeHiRegister reg(kValues);
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      util::Xoshiro256 rng(4);
+      while (!stop.load(std::memory_order_acquire)) {
+        reg.write(static_cast<std::uint32_t>(rng.next_in(1, kValues)));
+      }
+    });
+    util::Samples latency;
+    for (int i = 0; i < 20000; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(reg.read());
+      const auto end = std::chrono::steady_clock::now();
+      latency.add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+              .count()));
+    }
+    stop.store(true, std::memory_order_release);
+    writer.join();
+    std::printf(
+        "alg4: every read completed; latency ns p50=%llu p99=%llu max=%llu\n\n",
+        static_cast<unsigned long long>(latency.percentile(0.5)),
+        static_cast<unsigned long long>(latency.percentile(0.99)),
+        static_cast<unsigned long long>(latency.max()));
+  }
+}
+
+}  // namespace
+}  // namespace hi
+
+int main(int argc, char** argv) {
+  hi::print_attempt_distribution();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

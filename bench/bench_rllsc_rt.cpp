@@ -1,0 +1,121 @@
+// R-LLSC microbenchmarks (Algorithm 6 on hardware): the per-primitive cost
+// of the context-aware releasable LL/SC operations against the raw 16-byte
+// CAS they are built from, solo and under contention. This quantifies the
+// substrate cost underneath Algorithm 5 — each universal-object operation is
+// a constant number of these.
+#include <benchmark/benchmark.h>
+
+#include "rt/atomic128.h"
+#include "rt/rllsc_rt.h"
+
+namespace hi {
+namespace {
+
+void BM_RawCas128(benchmark::State& state) {
+  static rt::Atomic128* cell = nullptr;
+  if (state.thread_index() == 0) cell = new rt::Atomic128(rt::Word128{0, 0});
+  std::uint64_t local = 0;
+  for (auto _ : state) {
+    rt::Word128 cur = cell->load();
+    rt::Word128 desired{cur.value + 1, 0};
+    benchmark::DoNotOptimize(cell->compare_exchange(cur, desired));
+    ++local;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete cell;
+    cell = nullptr;
+  }
+}
+BENCHMARK(BM_RawCas128)
+    ->Name("raw_cas128")
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+
+void BM_LlScPair(benchmark::State& state) {
+  static rt::RtRllsc* cell = nullptr;
+  if (state.thread_index() == 0) cell = new rt::RtRllsc(0);
+  const int pid = state.thread_index();
+  for (auto _ : state) {
+    const std::uint64_t seen = cell->ll(pid);
+    benchmark::DoNotOptimize(cell->sc(pid, seen + 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete cell;
+    cell = nullptr;
+  }
+}
+BENCHMARK(BM_LlScPair)
+    ->Name("ll_sc_pair")
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+
+void BM_LlRlPair(benchmark::State& state) {
+  // LL followed by RL — the clearing pattern Algorithm 5's red lines add.
+  static rt::RtRllsc* cell = nullptr;
+  if (state.thread_index() == 0) cell = new rt::RtRllsc(0);
+  const int pid = state.thread_index();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell->ll(pid));
+    benchmark::DoNotOptimize(cell->rl(pid));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete cell;
+    cell = nullptr;
+  }
+}
+BENCHMARK(BM_LlRlPair)
+    ->Name("ll_rl_pair")
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+
+void BM_Load(benchmark::State& state) {
+  static rt::RtRllsc* cell = nullptr;
+  if (state.thread_index() == 0) cell = new rt::RtRllsc(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell->load());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete cell;
+    cell = nullptr;
+  }
+}
+BENCHMARK(BM_Load)->Name("load")->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_Store(benchmark::State& state) {
+  static rt::RtRllsc* cell = nullptr;
+  if (state.thread_index() == 0) cell = new rt::RtRllsc(0);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell->store(++v));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete cell;
+    cell = nullptr;
+  }
+}
+BENCHMARK(BM_Store)->Name("store")->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_Vl(benchmark::State& state) {
+  static rt::RtRllsc* cell = nullptr;
+  if (state.thread_index() == 0) {
+    cell = new rt::RtRllsc(0);
+    cell->ll(0);
+  }
+  const int pid = state.thread_index();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell->vl(pid));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete cell;
+    cell = nullptr;
+  }
+}
+BENCHMARK(BM_Vl)->Name("vl")->Threads(1)->Threads(8)->UseRealTime();
+
+}  // namespace
+}  // namespace hi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+// Experiment E14 (universal construction, hardware) — throughput and latency
+// of Algorithm 5's rt implementation against three comparators on the same
+// sequential spec:
+//
+//   hi-universal : Algorithm 5 over Algorithm 6 (wait-free, state-quiescent HI)
+//   leaky        : FK-style wait-free universal (not HI) — the "cost of HI"
+//                  comparison: same helping structure, no clearing stages
+//   cas-loop     : single-word CAS retry (lock-free, perfect HI, no helping)
+//   lock         : std::mutex around the sequential state
+//
+// Shape expected (and what the paper's theory predicts):
+//   * throughput: cas-loop ≥ leaky ≈ hi-universal (clearing costs a constant
+//     factor), lock collapses under contention;
+//   * tail latency: the wait-free constructions have bounded max latency;
+//     the cas-loop's per-op retry count is unbounded (lock-freedom only).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "rt/baselines_rt.h"
+#include "rt/universal_rt.h"
+#include "spec/counter_spec.h"
+#include "util/stats.h"
+
+namespace hi {
+namespace {
+
+using spec::CounterSpec;
+
+const CounterSpec& counter_spec() {
+  static const CounterSpec spec(0xffffff, 0);  // rt responses must fit 24 bits
+  return spec;
+}
+
+template <typename Obj>
+Obj* make_object(int threads);
+
+template <>
+rt::RtUniversal<CounterSpec>* make_object(int threads) {
+  return new rt::RtUniversal<CounterSpec>(counter_spec(), threads);
+}
+template <>
+rt::RtLeakyUniversal<CounterSpec>* make_object(int threads) {
+  return new rt::RtLeakyUniversal<CounterSpec>(counter_spec(), threads);
+}
+template <>
+rt::RtCasLoopObject<CounterSpec>* make_object(int /*threads*/) {
+  return new rt::RtCasLoopObject<CounterSpec>(counter_spec());
+}
+template <>
+rt::RtLockObject<CounterSpec>* make_object(int /*threads*/) {
+  return new rt::RtLockObject<CounterSpec>(counter_spec());
+}
+
+template <typename Obj>
+void BM_CounterInc(benchmark::State& state) {
+  static Obj* object = nullptr;
+  if (state.thread_index() == 0) {
+    object = make_object<Obj>(state.threads());
+  }
+  const int pid = state.thread_index();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(object->apply(pid, CounterSpec::inc()));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete object;
+    object = nullptr;
+  }
+}
+
+BENCHMARK(BM_CounterInc<rt::RtUniversal<CounterSpec>>)
+    ->Name("hi_universal/inc")
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+BENCHMARK(BM_CounterInc<rt::RtLeakyUniversal<CounterSpec>>)
+    ->Name("leaky_universal/inc")
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+BENCHMARK(BM_CounterInc<rt::RtCasLoopObject<CounterSpec>>)
+    ->Name("cas_loop/inc")
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+BENCHMARK(BM_CounterInc<rt::RtLockObject<CounterSpec>>)
+    ->Name("lock/inc")
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+
+// Read-side: Algorithm 5's ApplyReadOnly is a single Load.
+void BM_HiUniversalRead(benchmark::State& state) {
+  static rt::RtUniversal<CounterSpec>* object = nullptr;
+  if (state.thread_index() == 0) {
+    object = make_object<rt::RtUniversal<CounterSpec>>(state.threads());
+  }
+  const int pid = state.thread_index();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(object->apply(pid, CounterSpec::read()));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete object;
+    object = nullptr;
+  }
+}
+BENCHMARK(BM_HiUniversalRead)
+    ->Name("hi_universal/read")
+    ->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+// ---- Latency-percentile section (custom; the wait-freedom shape) ----
+
+template <typename Obj>
+util::Samples latency_run(int threads, int ops_each) {
+  Obj* object = make_object<Obj>(threads);
+  std::vector<util::Samples> per_thread(threads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  for (int pid = 0; pid < threads; ++pid) {
+    pool.emplace_back([&, pid] {
+      per_thread[pid].reserve(ops_each);
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < ops_each; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(object->apply(pid, CounterSpec::inc()));
+        const auto stop = std::chrono::steady_clock::now();
+        per_thread[pid].add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : pool) t.join();
+  util::Samples all;
+  for (const auto& s : per_thread) all.merge(s);
+  delete object;
+  return all;
+}
+
+void print_latency_table() {
+  constexpr int kThreads = 8;
+  constexpr int kOps = 30000;
+  std::printf(
+      "=== E14: per-op latency (ns), counter inc, %d threads x %d ops ===\n",
+      kThreads, kOps);
+  std::printf("%-16s %8s %8s %8s %10s\n", "object", "p50", "p99", "p99.9",
+              "max");
+  auto row = [](const char* name, const util::Samples& s) {
+    std::printf("%-16s %8llu %8llu %8llu %10llu\n", name,
+                static_cast<unsigned long long>(s.percentile(0.50)),
+                static_cast<unsigned long long>(s.percentile(0.99)),
+                static_cast<unsigned long long>(s.percentile(0.999)),
+                static_cast<unsigned long long>(s.max()));
+  };
+  row("hi_universal",
+      latency_run<rt::RtUniversal<CounterSpec>>(kThreads, kOps));
+  row("leaky_universal",
+      latency_run<rt::RtLeakyUniversal<CounterSpec>>(kThreads, kOps));
+  row("cas_loop",
+      latency_run<rt::RtCasLoopObject<CounterSpec>>(kThreads, kOps));
+  row("lock", latency_run<rt::RtLockObject<CounterSpec>>(kThreads, kOps));
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace hi
+
+int main(int argc, char** argv) {
+  hi::print_latency_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

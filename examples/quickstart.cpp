@@ -1,0 +1,55 @@
+// Quickstart: a history-independent wait-free shared counter in ~40 lines.
+//
+// Build any object from its sequential specification with the universal
+// construction (Algorithm 5 over Algorithm 6, src/rt): operations are
+// linearizable and wait-free, and once no state-changing operation is
+// pending, the shared memory is a function of the abstract state alone — an
+// observer who dumps it learns the current value and nothing about how it
+// got there.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "rt/universal_rt.h"
+#include "spec/counter_spec.h"
+
+int main() {
+  const hi::spec::CounterSpec spec(/*max_value=*/0xffffff, /*initial=*/0);
+  constexpr int kThreads = 4;
+  hi::rt::RtUniversal<hi::spec::CounterSpec> counter(spec, kThreads);
+
+  // Hammer it from several threads.
+  std::vector<std::thread> pool;
+  for (int pid = 0; pid < kThreads; ++pid) {
+    pool.emplace_back([&, pid] {
+      for (int i = 0; i < 10000; ++i) {
+        (void)counter.apply(pid, hi::spec::CounterSpec::inc());
+      }
+      for (int i = 0; i < 2500; ++i) {
+        (void)counter.apply(pid, hi::spec::CounterSpec::dec());
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  const auto value = counter.apply(0, hi::spec::CounterSpec::read());
+  std::printf("counter value after 4x(10000 inc, 2500 dec): %u\n", value);
+
+  // The history-independence payoff: a second counter reaching the same
+  // value along a totally different path has byte-identical shared memory.
+  hi::rt::RtUniversal<hi::spec::CounterSpec> other(spec, kThreads);
+  for (int i = 0; i < 30000; ++i) {
+    (void)other.apply(0, hi::spec::CounterSpec::inc());
+  }
+  const bool identical = counter.memory_image() == other.memory_image();
+  std::printf("memory identical to a solo run reaching %u: %s\n",
+              other.apply(0, hi::spec::CounterSpec::read()),
+              identical ? "yes (history independent)" : "NO (bug!)");
+
+  std::printf("context residue: %#llx, announce cells clear: %s\n",
+              static_cast<unsigned long long>(counter.context_union()),
+              counter.announce_is_bottom(0) ? "yes" : "no");
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// Theorem 20's queue adversary plan (§5.4 / Appendix C).
+//
+// A queue with Peek is not in class C_t — states are not mutually reachable
+// in one operation — so the adversary walks only among t+1 *representative*
+// states q_0 = ∅, q_i = {i}, moving with the operation sequences S(i1, i2)
+// (Enqueue/Dequeue pairs). Along each S(i1, i2), a Peek can only ever be
+// linearized to return r_{i1} or r_{i2} (the in-between state {i1, i2} also
+// fronts i1), so Lemma 37/38's indistinguishability argument goes through
+// with t+1 representatives against base objects of at most t states.
+#pragma once
+
+#include "adversary/reader_adversary.h"
+#include "spec/queue_spec.h"
+
+namespace hi::adversary {
+
+inline AdversaryPlan<spec::QueueSpec> queue_plan(const spec::QueueSpec& spec) {
+  AdversaryPlan<spec::QueueSpec> plan;
+  plan.states.reserve(spec.domain() + 1);
+  for (std::uint32_t i = 0; i <= spec.domain(); ++i) {
+    plan.states.push_back(spec.representative(i));
+  }
+  plan.change_seq = [&spec](const spec::QueueSpec::State& from,
+                            const spec::QueueSpec::State& to) {
+    const std::uint32_t i1 = from.empty() ? 0u : from.front();
+    const std::uint32_t i2 = to.empty() ? 0u : to.front();
+    return spec.change_seq(i1, i2);
+  };
+  plan.read_op = spec::QueueSpec::peek();
+  return plan;
+}
+
+}  // namespace hi::adversary

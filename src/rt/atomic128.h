@@ -1,0 +1,50 @@
+// 16-byte atomic word for the real-hardware implementations (src/rt).
+//
+// The paper's universal construction needs a CAS base object with
+// O(s + 2^n) states: the full abstract state plus n context bits, updated in
+// one indivisible compare-and-swap. On x86-64 this maps onto CMPXCHG16B
+// (compiled with -mcx16; std::atomic<Word128> resolves to lock-free
+// 16-byte operations via libatomic's runtime dispatch). The layout gives
+// 64 bits of packed algorithm value and 64 context bits, so n ≤ 64 processes
+// and abstract states must encode into 32 bits — the substitution documented
+// in DESIGN.md. If the platform lacks CMPXCHG16B, libatomic falls back to a
+// lock table: still correct, no longer lock-free (is_lock_free() reports it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hi::rt {
+
+struct Word128 {
+  std::uint64_t value = 0;  // packed algorithm payload
+  std::uint64_t ctx = 0;    // context bitmask / second payload word
+
+  friend bool operator==(const Word128&, const Word128&) = default;
+};
+
+static_assert(sizeof(Word128) == 16);
+
+class Atomic128 {
+ public:
+  Atomic128() = default;
+  explicit Atomic128(Word128 initial) : word_(initial) {}
+
+  Word128 load() const { return word_.load(std::memory_order_seq_cst); }
+  void store(Word128 desired) {
+    word_.store(desired, std::memory_order_seq_cst);
+  }
+  /// Strong CAS; on failure `expected` receives the current word.
+  bool compare_exchange(Word128& expected, Word128 desired) {
+    return word_.compare_exchange_strong(expected, desired,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_seq_cst);
+  }
+
+  bool is_lock_free() const { return word_.is_lock_free(); }
+
+ private:
+  std::atomic<Word128> word_{};
+};
+
+}  // namespace hi::rt

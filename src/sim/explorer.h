@@ -1,0 +1,210 @@
+// Exhaustive schedule exploration: bounded model checking over ALL
+// interleavings of a small workload.
+//
+// The randomized Runner samples the schedule space; this explorer enumerates
+// it. A schedule is the sequence of scheduling decisions (invoke the next
+// operation of process p / grant one step to process p). The simulator is
+// deterministic given that sequence, so depth-first enumeration with
+// re-execution visits every reachable execution of the workload exactly
+// once, up to the given depth/width caps. Coroutine frames cannot be forked,
+// so the explorer re-executes the decision prefix for every leaf — cheap for
+// the intended use (executions of a few dozen steps).
+//
+// At every visited configuration the caller's observer runs (memory
+// snapshots for the HI checker at the appropriate observation points); every
+// *complete* execution's history is handed to the caller for linearizability
+// checking. Tests use this to verify Algorithms 2, 4, 6 and the perfect-HI
+// set over every interleaving of small op mixes — the strongest evidence
+// this repository produces short of the paper's proofs.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/memory.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+#include "spec/spec.h"
+#include "verify/history.h"
+
+namespace hi::sim {
+
+/// One scheduling decision.
+struct Decision {
+  int pid = -1;
+  bool start = false;  // true: invoke next op; false: grant one step
+
+  friend bool operator==(const Decision&, const Decision&) = default;
+};
+
+struct ExploreStats {
+  std::uint64_t executions_complete = 0;
+  std::uint64_t executions_truncated = 0;  // hit max_depth
+  std::uint64_t configurations = 0;
+  bool exhausted = true;  // false if max_executions cap was hit
+};
+
+struct ExploreLimits {
+  std::size_t max_depth = 64;
+  std::uint64_t max_executions = 2'000'000;
+};
+
+/// A freshly constructed system under test. The factory must produce an
+/// identical initial system every time (determinism is what makes
+/// re-execution sound).
+template <typename S, typename System>
+concept ExplorableSystem = spec::SequentialSpec<S> && requires(System sys) {
+  { sys.scheduler() } -> std::same_as<Scheduler&>;
+  { sys.memory() } -> std::same_as<Memory&>;
+  {
+    sys.apply(0, std::declval<typename S::Op>())
+  } -> std::same_as<OpTask<typename S::Resp>>;
+};
+
+template <spec::SequentialSpec S, typename System>
+class Explorer {
+ public:
+  using Op = typename S::Op;
+  using Resp = typename S::Resp;
+  using Hist = verify::History<Op, Resp>;
+  using Factory = std::function<std::unique_ptr<System>()>;
+  /// Observer invoked at every configuration of every (re-)execution along
+  /// fresh branches: (system, history-so-far, pending op count,
+  /// state-changing pending count).
+  using Observer = std::function<void(System&, const Hist&, int, int)>;
+  /// Invoked once per complete execution with its full history.
+  using OnComplete = std::function<void(System&, const Hist&)>;
+
+  Explorer(const S& spec, Factory factory,
+           std::vector<std::vector<Op>> workload)
+      : spec_(spec), factory_(std::move(factory)), workload_(std::move(workload)) {}
+
+  ExploreStats explore(const ExploreLimits& limits, Observer observer,
+                       OnComplete on_complete) {
+    stats_ = ExploreStats{};
+    limits_ = limits;
+    observer_ = std::move(observer);
+    on_complete_ = std::move(on_complete);
+    prefix_.clear();
+    dfs();
+    return stats_;
+  }
+
+ private:
+  struct Replay {
+    std::unique_ptr<System> system;
+    std::vector<std::optional<OpTask<Resp>>> tasks;
+    std::vector<std::size_t> next_op;
+    std::vector<std::size_t> hist_index;
+    std::vector<bool> state_changing;
+    Hist history;
+    int pending = 0;
+    int state_changing_pending = 0;
+  };
+
+  /// Re-execute the current prefix; returns the replayed state. `observe_tail`
+  /// marks how many trailing decisions are new (never observed before), so
+  /// observations are not double-counted across re-executions.
+  Replay replay(std::size_t observe_from) {
+    Replay r;
+    r.system = factory_();
+    const int n = r.system->scheduler().num_processes();
+    r.tasks.resize(n);
+    r.next_op.assign(n, 0);
+    r.hist_index.assign(n, 0);
+    r.state_changing.assign(n, false);
+    for (std::size_t i = 0; i < prefix_.size(); ++i) {
+      apply_decision(r, prefix_[i]);
+      if (i >= observe_from && observer_) {
+        ++stats_.configurations;
+        observer_(*r.system, r.history, r.pending, r.state_changing_pending);
+      }
+    }
+    return r;
+  }
+
+  void apply_decision(Replay& r, const Decision& d) {
+    Scheduler& sched = r.system->scheduler();
+    if (d.start) {
+      assert(!r.tasks[d.pid].has_value());
+      const Op op = workload_[d.pid][r.next_op[d.pid]++];
+      r.hist_index[d.pid] = r.history.invoke(d.pid, op);
+      r.state_changing[d.pid] = !spec_.is_read_only(op);
+      r.tasks[d.pid].emplace(r.system->apply(d.pid, op));
+      sched.start(d.pid, *r.tasks[d.pid]);
+      ++r.pending;
+      if (r.state_changing[d.pid]) ++r.state_changing_pending;
+    } else {
+      sched.step(d.pid);
+    }
+    if (r.tasks[d.pid].has_value() && sched.op_finished(d.pid)) {
+      r.history.respond(r.hist_index[d.pid], r.tasks[d.pid]->take_result());
+      sched.finish(d.pid);
+      r.tasks[d.pid].reset();
+      --r.pending;
+      if (r.state_changing[d.pid]) {
+        --r.state_changing_pending;
+        r.state_changing[d.pid] = false;
+      }
+    }
+  }
+
+  std::vector<Decision> enabled(const Replay& r) const {
+    std::vector<Decision> events;
+    const Scheduler& sched = r.system->scheduler();
+    const int n = sched.num_processes();
+    for (int pid = 0; pid < n; ++pid) {
+      if (r.tasks[pid].has_value()) {
+        if (sched.runnable(pid)) events.push_back({pid, false});
+      } else if (pid < static_cast<int>(workload_.size()) &&
+                 r.next_op[pid] < workload_[pid].size()) {
+        events.push_back({pid, true});
+      }
+    }
+    return events;
+  }
+
+  void dfs() {
+    if (!stats_.exhausted) return;
+    if (stats_.executions_complete + stats_.executions_truncated >=
+        limits_.max_executions) {
+      stats_.exhausted = false;
+      return;
+    }
+    // Re-execute the prefix; only the final configuration is "new" relative
+    // to the parent call (all earlier ones were observed when first reached).
+    Replay r = replay(prefix_.empty() ? 0 : prefix_.size() - 1);
+    const std::vector<Decision> events = enabled(r);
+    if (events.empty()) {
+      ++stats_.executions_complete;
+      if (on_complete_) on_complete_(*r.system, r.history);
+      return;
+    }
+    if (prefix_.size() >= limits_.max_depth) {
+      ++stats_.executions_truncated;
+      return;
+    }
+    // Free the replay before recursing (each child re-executes anyway).
+    r = Replay{};
+    for (const Decision& event : events) {
+      prefix_.push_back(event);
+      dfs();
+      prefix_.pop_back();
+      if (!stats_.exhausted) return;
+    }
+  }
+
+  const S& spec_;
+  Factory factory_;
+  std::vector<std::vector<Op>> workload_;
+  ExploreLimits limits_;
+  Observer observer_;
+  OnComplete on_complete_;
+  std::vector<Decision> prefix_;
+  ExploreStats stats_;
+};
+
+}  // namespace hi::sim

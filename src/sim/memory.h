@@ -1,0 +1,107 @@
+// The shared memory of a simulated system: the ordered collection of base
+// objects, and the memory representation mem(C) — "a vector specifying the
+// state of each base object" (§2). Snapshots of this vector are what the
+// history-independence checker compares across executions.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/base_object.h"
+#include "util/rng.h"
+
+namespace hi::sim {
+
+/// A snapshot of mem(C). Fixed layout per system, so operator== is exactly
+/// "same memory representation".
+struct MemorySnapshot {
+  std::vector<std::uint64_t> words;
+
+  friend bool operator==(const MemorySnapshot&,
+                         const MemorySnapshot&) = default;
+
+  std::uint64_t hash() const {
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    for (std::uint64_t w : words) h = util::hash_combine(h, w);
+    return h;
+  }
+
+  /// Hamming distance in base objects is approximated by word distance; for
+  /// one-word objects (registers, CAS cells) they coincide. Used by the
+  /// Proposition 6 distance checks.
+  std::size_t distance(const MemorySnapshot& other) const {
+    assert(words.size() == other.words.size());
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      if (words[i] != other.words[i]) ++d;
+    }
+    return d;
+  }
+};
+
+class Memory {
+ public:
+  Memory() = default;
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+
+  /// Construct and register a base object; the Memory owns it. Objects must
+  /// all be created before the execution starts (static memory — the paper's
+  /// implementations use no dynamic allocation, which is itself relevant to
+  /// HI, see §1's discussion of allocators).
+  template <typename T, typename... Args>
+  T& make(Args&&... args) {
+    auto object = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *object;
+    object->id_ = static_cast<int>(objects_.size());
+    objects_.push_back(std::move(object));
+    return ref;
+  }
+
+  std::size_t num_objects() const { return objects_.size(); }
+  const BaseObject& object(int id) const { return *objects_.at(id); }
+
+  /// mem(C): the state vector of all base objects.
+  MemorySnapshot snapshot() const {
+    MemorySnapshot snap;
+    snap.words.reserve(objects_.size());
+    for (const auto& object : objects_) object->encode_state(snap.words);
+    return snap;
+  }
+
+  /// The half-open range [first, last) of words that object `id` occupies in
+  /// a snapshot. The Lemma 16 adversary uses this to compare canonical
+  /// representations *restricted to the base object the reader will access
+  /// next* — can(q)[ℓ] in the paper's notation.
+  std::pair<std::size_t, std::size_t> word_range(int id) const {
+    std::size_t offset = 0;
+    for (int i = 0; i < id; ++i) {
+      std::vector<std::uint64_t> words;
+      objects_[i]->encode_state(words);
+      offset += words.size();
+    }
+    std::vector<std::uint64_t> words;
+    objects_.at(id)->encode_state(words);
+    return {offset, offset + words.size()};
+  }
+
+  /// Human-readable dump for counterexample reports and the Figure 1 demo.
+  std::string dump() const {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < objects_.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << objects_[i]->describe();
+    }
+    return out.str();
+  }
+
+ private:
+  std::vector<std::unique_ptr<BaseObject>> objects_;
+};
+
+}  // namespace hi::sim

@@ -1,0 +1,122 @@
+// The step scheduler of the simulated asynchronous system.
+//
+// The scheduler owns the process table. At most one high-level operation is
+// active per process at a time (as in the paper's model, where a process
+// invokes operations sequentially). Starting an operation "primes" its
+// coroutine — runs the purely-local prefix up to the first shared-memory
+// primitive — so the invariant holds that a runnable process always has a
+// pending primitive, and step(pid) executes exactly one primitive followed
+// by local computation. This also lets adversaries inspect *which base
+// object* a process will access next before granting it a step (Lemma 16
+// needs exactly this power).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace hi::sim {
+
+class Scheduler {
+ public:
+  explicit Scheduler(int num_processes) : processes_(num_processes) {
+    for (int pid = 0; pid < num_processes; ++pid) processes_[pid].pid = pid;
+  }
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  int num_processes() const { return static_cast<int>(processes_.size()); }
+
+  const ProcessState& process(int pid) const { return processes_.at(pid); }
+
+  /// Begin an operation for process `pid`. The task must outlive the
+  /// operation (the harness keeps it). Runs local computation up to the
+  /// first primitive; consumes no step.
+  template <typename T>
+  void start(int pid, OpTask<T>& task) {
+    ProcessState& ps = processes_.at(pid);
+    assert(!ps.active && "process already has a pending operation");
+    assert(task.valid());
+    task.bind(&ps);
+    ps.active = true;
+    ps.done = false;
+    ps.resume_point = task.handle();
+    ps.pending = {};
+    resume(ps);
+  }
+
+  bool runnable(int pid) const { return processes_.at(pid).runnable(); }
+
+  /// True once the active operation's coroutine has run to completion; the
+  /// harness then takes the result and calls finish().
+  bool op_finished(int pid) const {
+    const ProcessState& ps = processes_.at(pid);
+    return ps.active && ps.done;
+  }
+
+  /// Acknowledge completion (the response event of the high-level operation).
+  void finish(int pid) {
+    ProcessState& ps = processes_.at(pid);
+    assert(ps.active && ps.done);
+    ps.active = false;
+  }
+
+  /// Abandon a pending operation mid-flight (torn-down executions, e.g. the
+  /// adversary constructions end with the reader still pending). The caller
+  /// destroys the OpTask, which frees the suspended frames.
+  void abandon(int pid) {
+    ProcessState& ps = processes_.at(pid);
+    ps.active = false;
+    ps.done = true;
+    ps.resume_point = nullptr;
+    ps.pending = {};
+  }
+
+  /// Execute one step of process `pid`: its pending primitive plus the local
+  /// computation up to the next primitive or completion.
+  void step(int pid) {
+    ProcessState& ps = processes_.at(pid);
+    assert(ps.runnable() && "step on a non-runnable process");
+    resume(ps);
+    ++total_steps_;
+  }
+
+  /// The base object process `pid` will access on its next step (-1 if not
+  /// runnable). Observer-side introspection; consumes nothing.
+  int pending_object(int pid) const {
+    const ProcessState& ps = processes_.at(pid);
+    return ps.runnable() ? ps.pending.object_id : -1;
+  }
+  const char* pending_kind(int pid) const {
+    const ProcessState& ps = processes_.at(pid);
+    return ps.runnable() ? ps.pending.kind : "";
+  }
+
+  std::uint64_t total_steps() const { return total_steps_; }
+  std::uint64_t steps_of(int pid) const { return processes_.at(pid).steps; }
+
+  std::vector<int> runnable_processes() const {
+    std::vector<int> pids;
+    for (const ProcessState& ps : processes_) {
+      if (ps.runnable()) pids.push_back(ps.pid);
+    }
+    return pids;
+  }
+
+ private:
+  void resume(ProcessState& ps) {
+    ProcessState* saved = detail::current_process();
+    detail::current_process() = &ps;
+    const std::coroutine_handle<> frame = ps.resume_point;
+    ps.resume_point = nullptr;
+    frame.resume();
+    detail::current_process() = saved;
+  }
+
+  std::vector<ProcessState> processes_;
+  std::uint64_t total_steps_ = 0;
+};
+
+}  // namespace hi::sim

@@ -1,0 +1,207 @@
+// Coroutine machinery for the asynchronous shared-memory simulator.
+//
+// The paper's model (§2): each step of a process is "some local computation
+// and a single primitive operation on a base object". We realize a process's
+// pending high-level operation as a C++20 coroutine that suspends at every
+// shared-memory primitive. The scheduler resumes one process at a time; a
+// resume executes exactly one primitive followed by local computation up to
+// the next primitive (or completion). Configurations — and in particular the
+// memory representation mem(C) — can therefore be observed between any two
+// steps, which is exactly the granularity the history-independence
+// definitions (Definitions 4–8) quantify over.
+//
+// Two coroutine types:
+//   OpTask<T>  — root coroutine for one high-level operation; produces T.
+//   SubTask<T> — internal helper coroutine (e.g. Algorithm 3's TryRead),
+//                eagerly started, resumes its caller on completion via
+//                symmetric transfer.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace hi::sim {
+
+/// What a suspended process is about to do, visible to schedulers and to the
+/// impossibility adversary (which must know which base object the reader
+/// accesses next — Lemma 16).
+struct PendingPrimitive {
+  int object_id = -1;
+  const char* kind = "";
+};
+
+/// Per-process record shared between the scheduler and the awaiters.
+struct ProcessState {
+  int pid = -1;
+  std::coroutine_handle<> resume_point{};  // deepest suspended frame
+  PendingPrimitive pending{};
+  bool active = false;  // an operation has been started and not yet finished
+  bool done = true;     // current operation's coroutine ran to completion
+  std::uint64_t steps = 0;  // primitives executed over the process's lifetime
+
+  bool runnable() const { return active && !done && resume_point; }
+};
+
+namespace detail {
+
+/// Every promise type derives from this so primitive awaiters can reach the
+/// owning process through any coroutine frame.
+struct PromiseBase {
+  ProcessState* process = nullptr;
+};
+
+/// The process currently executing (set by the scheduler around every resume
+/// and around priming). Primitive awaiters and eagerly-started SubTasks use
+/// it to attribute suspensions and step counts to the right process. The
+/// simulator is single-threaded per Scheduler; thread_local keeps independent
+/// Schedulers on different threads (parameterized tests) isolated.
+inline ProcessState*& current_process() noexcept {
+  thread_local ProcessState* current = nullptr;
+  return current;
+}
+
+}  // namespace detail
+
+/// Root coroutine of one high-level operation. Lazily started; the scheduler
+/// "primes" it on start so that a suspended OpTask always has a primitive
+/// pending.
+template <typename T>
+class OpTask {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> result;
+    std::exception_ptr error;
+
+    OpTask get_return_object() {
+      return OpTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> self) noexcept {
+        ProcessState* ps = self.promise().process;
+        if (ps != nullptr) {
+          ps->done = true;
+          ps->resume_point = nullptr;
+          ps->pending = {};
+        }
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T value) { result = std::move(value); }
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  OpTask() = default;
+  explicit OpTask(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  OpTask(OpTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  OpTask& operator=(OpTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  OpTask(const OpTask&) = delete;
+  OpTask& operator=(const OpTask&) = delete;
+  ~OpTask() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  std::coroutine_handle<> handle() const { return handle_; }
+
+  void bind(ProcessState* ps) {
+    assert(handle_);
+    handle_.promise().process = ps;
+  }
+
+  bool finished() const { return handle_ && handle_.done(); }
+
+  /// Result of a completed operation; rethrows if the coroutine threw.
+  T take_result() {
+    assert(finished());
+    if (handle_.promise().error) std::rethrow_exception(handle_.promise().error);
+    assert(handle_.promise().result.has_value());
+    return std::move(*handle_.promise().result);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+/// Helper coroutine awaited from within an OpTask (or another SubTask).
+/// Eagerly started: it runs until its first primitive suspension at the call
+/// site, so primitives always charge to the calling process's step count.
+template <typename T>
+class SubTask {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::coroutine_handle<> continuation{};
+    std::optional<T> result;
+    std::exception_ptr error;
+
+    promise_type() { this->process = detail::current_process(); }
+
+    SubTask get_return_object() {
+      return SubTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> self) noexcept {
+        // Resume whoever awaited us; if nobody has yet (we completed during
+        // eager start), just return to the caller.
+        if (self.promise().continuation) return self.promise().continuation;
+        return std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T value) { result = std::move(value); }
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  explicit SubTask(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  SubTask(SubTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  SubTask(const SubTask&) = delete;
+  SubTask& operator=(const SubTask&) = delete;
+  SubTask& operator=(SubTask&&) = delete;
+  ~SubTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return handle_.done(); }
+  void await_suspend(std::coroutine_handle<> caller) noexcept {
+    handle_.promise().continuation = caller;
+  }
+  T await_resume() {
+    if (handle_.promise().error) std::rethrow_exception(handle_.promise().error);
+    assert(handle_.promise().result.has_value());
+    return std::move(*handle_.promise().result);
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+}  // namespace hi::sim

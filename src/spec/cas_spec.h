@@ -1,0 +1,101 @@
+// t-valued CAS object with a read operation — the paper's second example of a
+// class C_t member (§5.1): Read distinguishes all t values, and
+// CAS(X, q, q') is the o_change(q, q') operation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hi::spec {
+
+class CasSpec {
+ public:
+  using State = std::uint32_t;  // current value, in [1, K]
+
+  enum class Kind : std::uint8_t { kRead, kCas, kWrite };
+  struct Op {
+    Kind kind;
+    std::uint32_t expected = 0;  // CAS only
+    std::uint32_t desired = 0;   // CAS / Write
+
+    friend bool operator==(const Op&, const Op&) = default;
+  };
+  struct Resp {
+    bool success = false;     // CAS result (Read/Write report true)
+    std::uint32_t value = 0;  // Read result
+
+    friend bool operator==(const Resp&, const Resp&) = default;
+  };
+
+  explicit CasSpec(std::uint32_t num_values, std::uint32_t initial = 1)
+      : num_values_(num_values), initial_(initial) {
+    assert(num_values >= 1 && num_values <= 0xffff);
+    assert(initial >= 1 && initial <= num_values);
+  }
+
+  std::uint32_t num_values() const { return num_values_; }
+
+  static Op read() { return Op{Kind::kRead, 0, 0}; }
+  static Op cas(std::uint32_t expected, std::uint32_t desired) {
+    return Op{Kind::kCas, expected, desired};
+  }
+  static Op write(std::uint32_t desired) { return Op{Kind::kWrite, 0, desired}; }
+
+  State initial_state() const { return initial_; }
+
+  std::pair<State, Resp> apply(const State& state, const Op& op) const {
+    switch (op.kind) {
+      case Kind::kRead:
+        return {state, Resp{true, state}};
+      case Kind::kCas:
+        if (state == op.expected) return {op.desired, Resp{true, 0}};
+        return {state, Resp{false, 0}};
+      case Kind::kWrite:
+        return {op.desired, Resp{true, 0}};
+    }
+    return {state, Resp{}};  // unreachable
+  }
+
+  bool is_read_only(const Op& op) const { return op.kind == Kind::kRead; }
+
+  std::uint64_t encode_state(const State& state) const { return state; }
+  State decode_state(std::uint64_t word) const {
+    return static_cast<State>(word);
+  }
+
+  std::uint32_t encode_op(const Op& op) const {
+    return (static_cast<std::uint32_t>(op.kind) << 30) | (op.expected << 15) |
+           op.desired;
+  }
+  Op decode_op(std::uint32_t word) const {
+    return Op{static_cast<Kind>(word >> 30), (word >> 15) & 0x7fffu,
+              word & 0x7fffu};
+  }
+  std::uint32_t encode_resp(const Resp& resp) const {
+    return (resp.success ? 1u << 31 : 0u) | resp.value;
+  }
+  Resp decode_resp(std::uint32_t word) const {
+    return Resp{(word >> 31) != 0, word & 0x7fffffffu};
+  }
+
+  std::vector<State> enumerate_states() const {
+    std::vector<State> states;
+    states.reserve(num_values_);
+    for (std::uint32_t v = 1; v <= num_values_; ++v) states.push_back(v);
+    return states;
+  }
+
+  // Class C_t interface (Definition 13).
+  Op read_op() const { return read(); }
+  Op change_op(const State& from, const State& to) const {
+    return cas(from, to);
+  }
+
+ private:
+  std::uint32_t num_values_;
+  std::uint32_t initial_;
+};
+
+}  // namespace hi::spec

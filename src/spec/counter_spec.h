@@ -1,0 +1,88 @@
+// Bounded counter with fetch-and-increment / fetch-and-decrement / read.
+//
+// This is the object the paper uses to motivate context clearing in §6.1:
+// "a counter supporting fetch-and-increment and fetch-and-decrement
+// operations, whose value is currently zero, was non-zero in the past" must
+// not be deducible from memory. The counter is reversible (every state
+// reachable from every other), so the Hartline et al. characterization and
+// the paper's impossibility machinery apply to it.
+//
+// The value saturates at [0, max_value] so the state space is finite; the
+// fetch response reports the pre-operation value.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hi::spec {
+
+class CounterSpec {
+ public:
+  using State = std::uint32_t;  // current count, in [0, max_value]
+
+  enum class Kind : std::uint8_t { kRead, kInc, kDec };
+  struct Op {
+    Kind kind;
+
+    friend bool operator==(const Op&, const Op&) = default;
+  };
+  using Resp = std::uint32_t;  // pre-operation value
+
+  explicit CounterSpec(std::uint32_t max_value = 1u << 20,
+                       std::uint32_t initial = 0)
+      : max_value_(max_value), initial_(initial) {
+    assert(initial <= max_value);
+  }
+
+  std::uint32_t max_value() const { return max_value_; }
+
+  static Op read() { return Op{Kind::kRead}; }
+  static Op inc() { return Op{Kind::kInc}; }
+  static Op dec() { return Op{Kind::kDec}; }
+
+  State initial_state() const { return initial_; }
+
+  std::pair<State, Resp> apply(const State& state, const Op& op) const {
+    switch (op.kind) {
+      case Kind::kRead:
+        return {state, state};
+      case Kind::kInc:
+        return {state < max_value_ ? state + 1 : state, state};
+      case Kind::kDec:
+        return {state > 0 ? state - 1 : state, state};
+    }
+    return {state, state};  // unreachable
+  }
+
+  bool is_read_only(const Op& op) const { return op.kind == Kind::kRead; }
+
+  std::uint64_t encode_state(const State& state) const { return state; }
+  State decode_state(std::uint64_t word) const {
+    return static_cast<State>(word);
+  }
+
+  std::uint32_t encode_op(const Op& op) const {
+    return static_cast<std::uint32_t>(op.kind);
+  }
+  Op decode_op(std::uint32_t word) const {
+    assert(word <= 2);
+    return Op{static_cast<Kind>(word)};
+  }
+  std::uint32_t encode_resp(const Resp& resp) const { return resp; }
+  Resp decode_resp(std::uint32_t word) const { return word; }
+
+  std::vector<State> enumerate_states() const {
+    std::vector<State> states;
+    states.reserve(max_value_ + 1);
+    for (std::uint32_t v = 0; v <= max_value_; ++v) states.push_back(v);
+    return states;
+  }
+
+ private:
+  std::uint32_t max_value_;
+  std::uint32_t initial_;
+};
+
+}  // namespace hi::spec

@@ -1,0 +1,142 @@
+// Bounded FIFO queue with a Peek operation — the object of §5.4 / Appendix C.
+//
+// Elements come from the finite domain {1..t}; the paper's response space is
+// {r0, ..., rt} with r0 = "empty" (also the default Enqueue response). The
+// queue is *not* in class C_t (states are not mutually reachable in one
+// operation), which is why the paper needs the representative-state walk
+// S(i1,i2) — implemented in src/adversary/queue_adversary.h on top of the
+// change_seq() hook below.
+//
+// Capacity is bounded by kMaxCapacity so states pack injectively into 64 bits
+// (8-bit length + up to 7 elements x 8 bits).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hi::spec {
+
+class QueueSpec {
+ public:
+  static constexpr std::size_t kMaxCapacity = 7;
+  static constexpr std::uint32_t kEmptyResp = 0;  // the paper's r0
+
+  using State = std::vector<std::uint8_t>;  // front at index 0
+
+  enum class Kind : std::uint8_t { kEnqueue, kDequeue, kPeek };
+  struct Op {
+    Kind kind;
+    std::uint8_t value = 0;  // Enqueue argument
+
+    friend bool operator==(const Op&, const Op&) = default;
+  };
+  using Resp = std::uint32_t;  // r_i = i (front element), r0 = empty/default
+
+  explicit QueueSpec(std::uint32_t domain, std::size_t capacity = kMaxCapacity)
+      : domain_(domain), capacity_(capacity) {
+    assert(domain >= 1 && domain <= 255);
+    assert(capacity >= 1 && capacity <= kMaxCapacity);
+  }
+
+  std::uint32_t domain() const { return domain_; }
+  std::size_t capacity() const { return capacity_; }
+
+  static Op enqueue(std::uint8_t value) { return Op{Kind::kEnqueue, value}; }
+  static Op dequeue() { return Op{Kind::kDequeue, 0}; }
+  static Op peek() { return Op{Kind::kPeek, 0}; }
+
+  State initial_state() const { return {}; }
+
+  std::pair<State, Resp> apply(const State& state, const Op& op) const {
+    switch (op.kind) {
+      case Kind::kEnqueue: {
+        assert(op.value >= 1 && op.value <= domain_);
+        if (state.size() >= capacity_) return {state, kEmptyResp};  // full: no-op
+        State next = state;
+        next.push_back(op.value);
+        return {next, kEmptyResp};
+      }
+      case Kind::kDequeue: {
+        if (state.empty()) return {state, kEmptyResp};
+        State next(state.begin() + 1, state.end());
+        return {next, state.front()};
+      }
+      case Kind::kPeek:
+        return {state, state.empty() ? kEmptyResp : state.front()};
+    }
+    return {state, kEmptyResp};  // unreachable
+  }
+
+  bool is_read_only(const Op& op) const { return op.kind == Kind::kPeek; }
+
+  std::uint64_t encode_state(const State& state) const {
+    assert(state.size() <= capacity_);
+    std::uint64_t word = state.size();
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      word |= static_cast<std::uint64_t>(state[i]) << (8 * (i + 1));
+    }
+    return word;
+  }
+
+  State decode_state(std::uint64_t word) const {
+    const std::size_t len = word & 0xff;
+    assert(len <= capacity_);
+    State state(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      state[i] = static_cast<std::uint8_t>((word >> (8 * (i + 1))) & 0xff);
+    }
+    return state;
+  }
+
+  std::uint32_t encode_op(const Op& op) const {
+    return (static_cast<std::uint32_t>(op.kind) << 8) | op.value;
+  }
+  Op decode_op(std::uint32_t word) const {
+    return Op{static_cast<Kind>(word >> 8),
+              static_cast<std::uint8_t>(word & 0xff)};
+  }
+  std::uint32_t encode_resp(const Resp& resp) const { return resp; }
+  Resp decode_resp(std::uint32_t word) const { return word; }
+
+  /// All states up to the capacity bound (size t^0 + t^1 + ... + t^cap).
+  std::vector<State> enumerate_states() const {
+    std::vector<State> states{State{}};
+    std::size_t level_begin = 0;
+    for (std::size_t len = 1; len <= capacity_; ++len) {
+      const std::size_t level_end = states.size();
+      for (std::size_t i = level_begin; i < level_end; ++i) {
+        for (std::uint32_t v = 1; v <= domain_; ++v) {
+          State next = states[i];
+          next.push_back(static_cast<std::uint8_t>(v));
+          states.push_back(std::move(next));
+        }
+      }
+      level_begin = level_end;
+    }
+    return states;
+  }
+
+  /// The paper's representative states q0 = ∅, q_i = {i} (§5.4).
+  State representative(std::uint32_t index) const {
+    assert(index <= domain_);
+    if (index == 0) return {};
+    return {static_cast<std::uint8_t>(index)};
+  }
+
+  /// The operation sequence S(i1, i2) moving representative q_{i1} to q_{i2}
+  /// without Peek ever being able to observe a third response value (§5.4).
+  std::vector<Op> change_seq(std::uint32_t from, std::uint32_t to) const {
+    assert(from != to && from <= domain_ && to <= domain_);
+    if (from == 0) return {enqueue(static_cast<std::uint8_t>(to))};
+    if (to == 0) return {dequeue()};
+    return {enqueue(static_cast<std::uint8_t>(to)), dequeue()};
+  }
+
+ private:
+  std::uint32_t domain_;
+  std::size_t capacity_;
+};
+
+}  // namespace hi::spec

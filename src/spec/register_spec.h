@@ -1,0 +1,86 @@
+// K-valued read/write register — the paper's running example (§4, §5.3).
+//
+// States are the values 1..K (the paper indexes register values from 1, so
+// that value v corresponds to array slot A[v]). A t-valued register is in
+// class C_t: Read distinguishes all states and Write(v) moves between any two
+// states in one operation (Definition 13's o_read / o_change).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hi::spec {
+
+class RegisterSpec {
+ public:
+  using State = std::uint32_t;  // current value, in [1, K]
+
+  enum class Kind : std::uint8_t { kRead, kWrite };
+  struct Op {
+    Kind kind;
+    std::uint32_t value = 0;  // Write argument; unused for Read
+
+    friend bool operator==(const Op&, const Op&) = default;
+  };
+  using Resp = std::uint32_t;  // Read: the value; Write: echoes 0
+
+  explicit RegisterSpec(std::uint32_t num_values, std::uint32_t initial = 1)
+      : num_values_(num_values), initial_(initial) {
+    assert(num_values >= 1 && initial >= 1 && initial <= num_values);
+  }
+
+  std::uint32_t num_values() const { return num_values_; }
+
+  static Op read() { return Op{Kind::kRead, 0}; }
+  static Op write(std::uint32_t value) { return Op{Kind::kWrite, value}; }
+
+  State initial_state() const { return initial_; }
+
+  std::pair<State, Resp> apply(const State& state, const Op& op) const {
+    switch (op.kind) {
+      case Kind::kRead:
+        return {state, state};
+      case Kind::kWrite:
+        assert(op.value >= 1 && op.value <= num_values_);
+        return {op.value, 0};
+    }
+    return {state, 0};  // unreachable
+  }
+
+  bool is_read_only(const Op& op) const { return op.kind == Kind::kRead; }
+
+  std::uint64_t encode_state(const State& state) const { return state; }
+  State decode_state(std::uint64_t word) const {
+    return static_cast<State>(word);
+  }
+
+  std::uint32_t encode_op(const Op& op) const {
+    return op.kind == Kind::kRead ? 0u : op.value;
+  }
+  Op decode_op(std::uint32_t word) const {
+    return word == 0 ? read() : write(word);
+  }
+  std::uint32_t encode_resp(const Resp& resp) const { return resp; }
+  Resp decode_resp(std::uint32_t word) const { return word; }
+
+  std::vector<State> enumerate_states() const {
+    std::vector<State> states;
+    states.reserve(num_values_);
+    for (std::uint32_t v = 1; v <= num_values_; ++v) states.push_back(v);
+    return states;
+  }
+
+  // Class C_t interface (Definition 13).
+  Op read_op() const { return read(); }
+  Op change_op(const State& /*from*/, const State& to) const {
+    return write(to);
+  }
+
+ private:
+  std::uint32_t num_values_;
+  std::uint32_t initial_;
+};
+
+}  // namespace hi::spec

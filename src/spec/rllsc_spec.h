@@ -1,0 +1,128 @@
+// Sequential specification of the context-aware releasable LL/SC object
+// (§6.1): state is the pair (val, context); operations are LL, VL, SC, RL,
+// Load and Store, each tagged with the invoking process (the context is
+// per-process, so Δ needs the identity). Used to linearizability-check
+// Algorithm 6's concurrent histories (Theorem 28 / experiment E10).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace hi::spec {
+
+class RllscSpec {
+ public:
+  static constexpr int kMaxProcesses = 16;
+
+  struct State {
+    std::uint64_t val = 0;
+    std::uint16_t ctx = 0;  // bit i <=> process i in context
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  enum class Kind : std::uint8_t { kLL, kVL, kSC, kRL, kLoad, kStore };
+  struct Op {
+    Kind kind;
+    std::uint8_t pid = 0;
+    std::uint16_t arg = 0;  // SC / Store argument
+
+    friend bool operator==(const Op&, const Op&) = default;
+  };
+  struct Resp {
+    std::uint32_t value = 0;  // LL / Load result
+    bool flag = false;        // VL / SC / RL / Store result
+
+    friend bool operator==(const Resp&, const Resp&) = default;
+  };
+
+  RllscSpec(std::uint16_t num_values, int num_processes,
+            std::uint16_t initial = 0)
+      : num_values_(num_values),
+        num_processes_(num_processes),
+        initial_(initial) {
+    assert(num_processes >= 1 && num_processes <= kMaxProcesses);
+    assert(initial < num_values);
+  }
+
+  static Op ll(int pid) { return Op{Kind::kLL, static_cast<std::uint8_t>(pid)}; }
+  static Op vl(int pid) { return Op{Kind::kVL, static_cast<std::uint8_t>(pid)}; }
+  static Op sc(int pid, std::uint16_t arg) {
+    return Op{Kind::kSC, static_cast<std::uint8_t>(pid), arg};
+  }
+  static Op rl(int pid) { return Op{Kind::kRL, static_cast<std::uint8_t>(pid)}; }
+  static Op load(int pid) {
+    return Op{Kind::kLoad, static_cast<std::uint8_t>(pid)};
+  }
+  static Op store(int pid, std::uint16_t arg) {
+    return Op{Kind::kStore, static_cast<std::uint8_t>(pid), arg};
+  }
+
+  State initial_state() const { return State{initial_, 0}; }
+
+  std::pair<State, Resp> apply(const State& state, const Op& op) const {
+    const auto bit = static_cast<unsigned>(op.pid);
+    const bool linked = util::test_bit(state.ctx, bit);
+    switch (op.kind) {
+      case Kind::kLL:
+        return {State{state.val, static_cast<std::uint16_t>(
+                                     util::set_bit(state.ctx, bit))},
+                Resp{static_cast<std::uint32_t>(state.val), true}};
+      case Kind::kVL:
+        return {state, Resp{0, linked}};
+      case Kind::kSC:
+        if (linked) return {State{op.arg, 0}, Resp{0, true}};
+        return {state, Resp{0, false}};
+      case Kind::kRL:
+        return {State{state.val, static_cast<std::uint16_t>(
+                                     util::clear_bit(state.ctx, bit))},
+                Resp{0, true}};
+      case Kind::kLoad:
+        return {state, Resp{static_cast<std::uint32_t>(state.val), true}};
+      case Kind::kStore:
+        return {State{op.arg, 0}, Resp{0, true}};
+    }
+    return {state, Resp{}};  // unreachable
+  }
+
+  bool is_read_only(const Op& op) const {
+    return op.kind == Kind::kVL || op.kind == Kind::kLoad;
+  }
+
+  std::uint64_t encode_state(const State& state) const {
+    return (state.val << 16) | state.ctx;
+  }
+  State decode_state(std::uint64_t word) const {
+    return State{word >> 16, static_cast<std::uint16_t>(word & 0xffff)};
+  }
+
+  std::uint32_t encode_op(const Op& op) const {
+    return (static_cast<std::uint32_t>(op.kind) << 24) |
+           (static_cast<std::uint32_t>(op.pid) << 16) | op.arg;
+  }
+  Op decode_op(std::uint32_t word) const {
+    return Op{static_cast<Kind>(word >> 24),
+              static_cast<std::uint8_t>((word >> 16) & 0xff),
+              static_cast<std::uint16_t>(word & 0xffff)};
+  }
+  std::uint32_t encode_resp(const Resp& resp) const {
+    return (resp.flag ? 1u << 31 : 0u) | resp.value;
+  }
+  Resp decode_resp(std::uint32_t word) const {
+    return Resp{word & 0x7fffffffu, (word >> 31) != 0};
+  }
+
+  std::uint16_t num_values() const { return num_values_; }
+  int num_processes() const { return num_processes_; }
+
+ private:
+  std::uint16_t num_values_;
+  int num_processes_;
+  std::uint16_t initial_;
+};
+
+}  // namespace hi::spec

@@ -1,0 +1,86 @@
+// Abstract objects as sequential specifications.
+//
+// The paper (§2) models an abstract object as a tuple (Q, q0, O, R, Δ):
+// states, initial state, operations, responses, and a deterministic
+// transition function Δ : Q × O → Q × R. Everything in this repository —
+// the universal construction, the linearizability checker, the HI checker
+// and the impossibility adversaries — is parameterized by such a spec.
+//
+// A Spec is an *instance* (it can carry runtime parameters such as the
+// register width K or the set domain size t) exposing:
+//
+//   using State = ...;   // regular value type
+//   using Op    = ...;   // operation descriptor
+//   using Resp  = ...;   // response value
+//
+//   State initial_state() const;
+//   std::pair<State, Resp> apply(const State&, const Op&) const;   // Δ
+//   bool is_read_only(const Op&) const;
+//
+//   // Stable intrinsic encodings. encode_state must be injective on Q and
+//   // *independent of execution history* (the HI checker compares canonical
+//   // memory representations across executions, so state identity must not
+//   // depend on discovery order). encode_op / encode_resp pack into 32 bits
+//   // for the universal construction's single-word cells.
+//   std::uint64_t encode_state(const State&) const;
+//   std::uint32_t encode_op(const Op&) const;
+//   Op            decode_op(std::uint32_t) const;
+//   std::uint32_t encode_resp(const Resp&) const;
+//   Resp          decode_resp(std::uint32_t) const;
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hi::spec {
+
+template <typename S>
+concept SequentialSpec = requires(const S spec, const typename S::State state,
+                                  const typename S::Op op,
+                                  const typename S::Resp resp,
+                                  std::uint32_t word) {
+  { spec.initial_state() } -> std::same_as<typename S::State>;
+  {
+    spec.apply(state, op)
+  } -> std::same_as<std::pair<typename S::State, typename S::Resp>>;
+  { spec.is_read_only(op) } -> std::same_as<bool>;
+  { spec.encode_state(state) } -> std::same_as<std::uint64_t>;
+  {
+    spec.decode_state(std::uint64_t{})
+  } -> std::same_as<typename S::State>;
+  { spec.encode_op(op) } -> std::same_as<std::uint32_t>;
+  { spec.decode_op(word) } -> std::same_as<typename S::Op>;
+  { spec.encode_resp(resp) } -> std::same_as<std::uint32_t>;
+  { spec.decode_resp(word) } -> std::same_as<typename S::Resp>;
+};
+
+/// Specs whose full state space can be enumerated (used to build complete
+/// canonical maps and by the impossibility adversaries).
+template <typename S>
+concept EnumerableSpec = SequentialSpec<S> && requires(const S spec) {
+  { spec.enumerate_states() } -> std::same_as<std::vector<typename S::State>>;
+};
+
+/// Specs in the paper's class C_t (Definition 13): a read operation that
+/// distinguishes the partition classes, and a single state-changing operation
+/// moving between any two states.
+template <typename S>
+concept StronglyConnectedSpec =
+    SequentialSpec<S> && requires(const S spec, const typename S::State from,
+                                  const typename S::State to) {
+  { spec.read_op() } -> std::same_as<typename S::Op>;
+  { spec.change_op(from, to) } -> std::same_as<typename S::Op>;
+};
+
+/// Apply a sequence of operations from the initial state; returns final state.
+template <SequentialSpec S>
+typename S::State replay(const S& spec,
+                         const std::vector<typename S::Op>& ops) {
+  typename S::State state = spec.initial_state();
+  for (const auto& op : ops) state = spec.apply(state, op).first;
+  return state;
+}
+
+}  // namespace hi::spec

@@ -1,0 +1,120 @@
+// Bounded stack with Push / Pop / Top over domain {1..t}.
+//
+// Not discussed explicitly in the paper, but like the queue it is outside
+// class C_t while still admitting the representative-state treatment; we use
+// it to exercise the universal construction with a second sequence-valued
+// object and to cross-check the HI checker on LIFO vs FIFO canonical states.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hi::spec {
+
+class StackSpec {
+ public:
+  static constexpr std::size_t kMaxCapacity = 7;
+  static constexpr std::uint32_t kEmptyResp = 0;
+
+  using State = std::vector<std::uint8_t>;  // top at the back
+
+  enum class Kind : std::uint8_t { kPush, kPop, kTop };
+  struct Op {
+    Kind kind;
+    std::uint8_t value = 0;
+
+    friend bool operator==(const Op&, const Op&) = default;
+  };
+  using Resp = std::uint32_t;
+
+  explicit StackSpec(std::uint32_t domain, std::size_t capacity = kMaxCapacity)
+      : domain_(domain), capacity_(capacity) {
+    assert(domain >= 1 && domain <= 255);
+    assert(capacity >= 1 && capacity <= kMaxCapacity);
+  }
+
+  std::uint32_t domain() const { return domain_; }
+  std::size_t capacity() const { return capacity_; }
+
+  static Op push(std::uint8_t value) { return Op{Kind::kPush, value}; }
+  static Op pop() { return Op{Kind::kPop, 0}; }
+  static Op top() { return Op{Kind::kTop, 0}; }
+
+  State initial_state() const { return {}; }
+
+  std::pair<State, Resp> apply(const State& state, const Op& op) const {
+    switch (op.kind) {
+      case Kind::kPush: {
+        assert(op.value >= 1 && op.value <= domain_);
+        if (state.size() >= capacity_) return {state, kEmptyResp};  // full
+        State next = state;
+        next.push_back(op.value);
+        return {next, kEmptyResp};
+      }
+      case Kind::kPop: {
+        if (state.empty()) return {state, kEmptyResp};
+        State next(state.begin(), state.end() - 1);
+        return {next, state.back()};
+      }
+      case Kind::kTop:
+        return {state, state.empty() ? kEmptyResp : state.back()};
+    }
+    return {state, kEmptyResp};  // unreachable
+  }
+
+  bool is_read_only(const Op& op) const { return op.kind == Kind::kTop; }
+
+  std::uint64_t encode_state(const State& state) const {
+    assert(state.size() <= capacity_);
+    std::uint64_t word = state.size();
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      word |= static_cast<std::uint64_t>(state[i]) << (8 * (i + 1));
+    }
+    return word;
+  }
+
+  State decode_state(std::uint64_t word) const {
+    const std::size_t len = word & 0xff;
+    assert(len <= capacity_);
+    State state(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      state[i] = static_cast<std::uint8_t>((word >> (8 * (i + 1))) & 0xff);
+    }
+    return state;
+  }
+
+  std::uint32_t encode_op(const Op& op) const {
+    return (static_cast<std::uint32_t>(op.kind) << 8) | op.value;
+  }
+  Op decode_op(std::uint32_t word) const {
+    return Op{static_cast<Kind>(word >> 8),
+              static_cast<std::uint8_t>(word & 0xff)};
+  }
+  std::uint32_t encode_resp(const Resp& resp) const { return resp; }
+  Resp decode_resp(std::uint32_t word) const { return word; }
+
+  std::vector<State> enumerate_states() const {
+    std::vector<State> states{State{}};
+    std::size_t level_begin = 0;
+    for (std::size_t len = 1; len <= capacity_; ++len) {
+      const std::size_t level_end = states.size();
+      for (std::size_t i = level_begin; i < level_end; ++i) {
+        for (std::uint32_t v = 1; v <= domain_; ++v) {
+          State next = states[i];
+          next.push_back(static_cast<std::uint8_t>(v));
+          states.push_back(std::move(next));
+        }
+      }
+      level_begin = level_end;
+    }
+    return states;
+  }
+
+ private:
+  std::uint32_t domain_;
+  std::size_t capacity_;
+};
+
+}  // namespace hi::spec

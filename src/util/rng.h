@@ -1,0 +1,84 @@
+// Deterministic, seedable PRNGs for schedule generation and workloads.
+//
+// We deliberately avoid std::mt19937 in the simulator hot paths: schedule
+// exploration replays millions of short executions, and splitmix64/xoshiro256
+// are faster, trivially seedable, and produce identical streams on every
+// platform (important for replayable counterexamples).
+#pragma once
+
+#include <cstdint>
+
+namespace hi::util {
+
+/// splitmix64: used to seed xoshiro and for cheap one-off hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: the simulator's workhorse generator.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be >= 1.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Debiased via rejection on the top of the range.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t raw = next();
+      if (raw >= threshold) return raw % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with probability num/den.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) noexcept {
+    return next_below(den) < num;
+  }
+
+  // UniformRandomBitGenerator interface, so std::shuffle works.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+  constexpr result_type operator()() noexcept { return next(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Stable 64-bit hash combiner (boost-style, but 64-bit constants).
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  std::uint64_t mixer = value + 0x9e3779b97f4a7c15ULL;
+  return seed ^ splitmix64(mixer) ^ (seed << 6) ^ (seed >> 2);
+}
+
+}  // namespace hi::util

@@ -1,0 +1,77 @@
+// Small online-statistics helpers used by the benchmark harnesses:
+// latency percentiles for the wait-freedom shape (bounded max latency) and
+// step-count accounting in the simulator's progress checker.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hi::util {
+
+/// Accumulates samples and reports order statistics. Not thread-safe; each
+/// worker keeps its own accumulator and merges at the end.
+class Samples {
+ public:
+  void reserve(std::size_t n) { values_.reserve(n); }
+  void add(std::uint64_t v) { values_.push_back(v); }
+  void merge(const Samples& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  }
+
+  bool empty() const { return values_.empty(); }
+  std::size_t count() const { return values_.size(); }
+
+  std::uint64_t max() const {
+    assert(!values_.empty());
+    return *std::max_element(values_.begin(), values_.end());
+  }
+  std::uint64_t min() const {
+    assert(!values_.empty());
+    return *std::min_element(values_.begin(), values_.end());
+  }
+  double mean() const {
+    assert(!values_.empty());
+    double total = 0;
+    for (auto v : values_) total += static_cast<double>(v);
+    return total / static_cast<double>(values_.size());
+  }
+
+  /// q in [0,1]; q=0.5 is the median. Sorts a copy lazily.
+  std::uint64_t percentile(double q) const {
+    assert(!values_.empty() && q >= 0.0 && q <= 1.0);
+    std::vector<std::uint64_t> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
+ private:
+  std::vector<std::uint64_t> values_;
+};
+
+/// Running max/min/total without storing samples (per-op step counting in
+/// multi-million-step simulator runs).
+struct RunningStats {
+  std::uint64_t count = 0;
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+
+  void add(std::uint64_t v) {
+    ++count;
+    total += v;
+    max = std::max(max, v);
+    min = std::min(min, v);
+  }
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total) / static_cast<double>(count);
+  }
+};
+
+}  // namespace hi::util

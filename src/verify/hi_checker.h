@@ -1,0 +1,95 @@
+// History-independence checker.
+//
+// For deterministic implementations, weak and strong HI coincide and both are
+// equivalent to *canonical memory representations* (Proposition 3): every
+// abstract state q has exactly one memory representation can(q), and at every
+// allowed observation point the memory equals can(state). The checker
+// enforces exactly that, following Definition 4: it is fed (abstract-state,
+// memory-snapshot) pairs harvested at the observation points of a chosen
+// HI notion — every configuration (perfect HI, Definition 5), state-quiescent
+// configurations (Definition 7) or quiescent configurations (Definition 8) —
+// possibly across *many* executions, and reports the first conflict: two
+// observation points with the same abstract state but different memory.
+//
+// Canonical entries may also be pre-seeded from solo sequential executions
+// (the construction of can(q) used throughout the paper's proofs); concurrent
+// observations are then checked against the sequential canon, which
+// additionally validates that concurrency leaves no residue relative to the
+// sequential representation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/memory.h"
+
+namespace hi::verify {
+
+class HiChecker {
+ public:
+  struct Violation {
+    std::uint64_t state = 0;
+    sim::MemorySnapshot expected;
+    sim::MemorySnapshot actual;
+    std::string first_seen;
+    std::string where;
+
+    std::string message() const {
+      return "state " + std::to_string(state) + " first seen at [" +
+             first_seen + "] has a different memory representation at [" +
+             where + "]";
+    }
+  };
+
+  /// Seed the canonical representation of a state (authoritative, e.g. from a
+  /// solo sequential run). Returns false if it conflicts with an existing
+  /// entry for the same state.
+  bool set_canonical(std::uint64_t state, sim::MemorySnapshot snapshot,
+                     std::string where = "sequential-canon") {
+    return observe(state, std::move(snapshot), std::move(where));
+  }
+
+  /// Record an observation point. Returns true if consistent so far.
+  bool observe(std::uint64_t state, sim::MemorySnapshot snapshot,
+               std::string where) {
+    ++num_observations_;
+    auto it = canon_.find(state);
+    if (it == canon_.end()) {
+      canon_.emplace(state, Entry{std::move(snapshot), std::move(where)});
+      return true;
+    }
+    if (it->second.snapshot == snapshot) return true;
+    if (!violation_.has_value()) {
+      violation_ = Violation{state, it->second.snapshot, std::move(snapshot),
+                             it->second.where, std::move(where)};
+    }
+    return false;
+  }
+
+  bool consistent() const { return !violation_.has_value(); }
+  const std::optional<Violation>& violation() const { return violation_; }
+
+  std::size_t num_observations() const { return num_observations_; }
+  std::size_t num_states() const { return canon_.size(); }
+
+  /// The canonical snapshot recorded for a state, if any.
+  const sim::MemorySnapshot* canonical(std::uint64_t state) const {
+    auto it = canon_.find(state);
+    return it == canon_.end() ? nullptr : &it->second.snapshot;
+  }
+
+ private:
+  struct Entry {
+    sim::MemorySnapshot snapshot;
+    std::string where;
+  };
+
+  std::unordered_map<std::uint64_t, Entry> canon_;
+  std::optional<Violation> violation_;
+  std::size_t num_observations_ = 0;
+};
+
+}  // namespace hi::verify

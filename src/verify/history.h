@@ -1,0 +1,78 @@
+// Concurrent histories: the sequence of invocation and response events
+// induced by an execution (H(α) in §2), used by the linearizability checker.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hi::verify {
+
+/// One completed-or-pending high-level operation in a history. Event times
+/// are global event indices assigned by the recorder: invocation and
+/// response of the same operation bracket the interval during which it was
+/// pending. kPending marks an operation with no matching response.
+template <typename Op, typename Resp>
+struct HistoryOp {
+  static constexpr std::uint64_t kPending =
+      std::numeric_limits<std::uint64_t>::max();
+
+  int pid = -1;
+  Op op{};
+  Resp resp{};
+  std::uint64_t invoked_at = 0;
+  std::uint64_t responded_at = kPending;
+
+  bool completed() const { return responded_at != kPending; }
+  /// Real-time precedence: this operation's response precedes other's
+  /// invocation.
+  template <typename O2>
+  bool precedes(const O2& other) const {
+    return completed() && responded_at < other.invoked_at;
+  }
+};
+
+/// Recorder for one execution. The harness calls invoke() when it starts an
+/// operation and respond() when the operation's coroutine completes.
+template <typename Op, typename Resp>
+class History {
+ public:
+  using Entry = HistoryOp<Op, Resp>;
+
+  /// Returns the operation's index, used to attach the response later.
+  std::size_t invoke(int pid, Op op) {
+    Entry entry;
+    entry.pid = pid;
+    entry.op = std::move(op);
+    entry.invoked_at = next_time_++;
+    entries_.push_back(std::move(entry));
+    return entries_.size() - 1;
+  }
+
+  void respond(std::size_t index, Resp resp) {
+    Entry& entry = entries_.at(index);
+    assert(!entry.completed());
+    entry.resp = std::move(resp);
+    entry.responded_at = next_time_++;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  const Entry& operator[](std::size_t i) const { return entries_[i]; }
+
+  std::size_t num_pending() const {
+    std::size_t count = 0;
+    for (const Entry& entry : entries_) {
+      if (!entry.completed()) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  std::uint64_t next_time_ = 0;
+};
+
+}  // namespace hi::verify

@@ -1,0 +1,173 @@
+// Linearizability checker (Wing–Gong style DFS with memoization).
+//
+// Given a concurrent history H(α) and a sequential specification Δ, decides
+// whether there is a linearization (§2): a permutation of a completion of
+// H(α) that matches Δ and respects the real-time order of non-overlapping
+// operations. Completed operations must appear with their recorded
+// responses; pending operations may take effect or not (completions).
+//
+// The search memoizes (linearized-set, abstract-state) pairs and carries an
+// explicit node budget so a pathological history reports kInconclusive
+// instead of hanging the test suite.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "spec/spec.h"
+#include "util/rng.h"
+#include "verify/history.h"
+
+namespace hi::verify {
+
+enum class Verdict : std::uint8_t {
+  kLinearizable,
+  kNotLinearizable,
+  kInconclusive,  // node budget exhausted
+};
+
+struct LinResult {
+  Verdict verdict = Verdict::kInconclusive;
+  std::uint64_t nodes_explored = 0;
+  /// On success: indices into the history, in linearization order (pending
+  /// operations that did not take effect are absent).
+  std::vector<std::size_t> witness;
+
+  bool ok() const { return verdict == Verdict::kLinearizable; }
+};
+
+template <hi::spec::SequentialSpec S>
+class LinearizabilityChecker {
+ public:
+  using Hist = History<typename S::Op, typename S::Resp>;
+
+  explicit LinearizabilityChecker(const S& spec,
+                                  std::uint64_t node_budget = 20'000'000)
+      : spec_(spec), node_budget_(node_budget) {}
+
+  /// If `expected_final_state` is set, only linearizations of the *entire*
+  /// history (every operation, including pending ones, takes effect) ending
+  /// in that exact state are accepted — used for end-of-execution
+  /// cross-validation against a destructive probe.
+  LinResult check(const Hist& history,
+                  std::optional<typename S::State> expected_final_state =
+                      std::nullopt) const {
+    Search search{spec_, history.entries(), node_budget_,
+                  std::move(expected_final_state)};
+    return search.run();
+  }
+
+ private:
+  struct Search {
+    const S& spec;
+    const std::vector<typename Hist::Entry>& ops;
+    std::uint64_t budget;
+    std::optional<typename S::State> final_state;
+
+    std::vector<std::uint64_t> taken;  // bitset over ops
+    std::size_t num_completed = 0;
+    std::size_t taken_completed = 0;
+    std::size_t taken_total = 0;
+    std::uint64_t nodes = 0;
+    std::unordered_set<std::uint64_t> failed;  // memo of dead states
+    std::vector<std::size_t> order;
+
+    Search(const S& s, const std::vector<typename Hist::Entry>& o,
+           std::uint64_t b, std::optional<typename S::State> fs)
+        : spec(s), ops(o), budget(b), final_state(std::move(fs)) {
+      taken.assign((ops.size() + 63) / 64, 0);
+      for (const auto& op : ops) {
+        if (op.completed()) ++num_completed;
+      }
+    }
+
+    bool is_taken(std::size_t i) const {
+      return (taken[i / 64] >> (i % 64)) & 1u;
+    }
+    void set_taken(std::size_t i) { taken[i / 64] |= std::uint64_t{1} << (i % 64); }
+    void clear_taken(std::size_t i) {
+      taken[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+    }
+
+    std::uint64_t memo_key(const typename S::State& state) const {
+      std::uint64_t h = util::hash_combine(0x9d2c5680aull,
+                                           spec.encode_state(state));
+      for (std::uint64_t word : taken) h = util::hash_combine(h, word);
+      return h;
+    }
+
+    LinResult run() {
+      LinResult result;
+      const typename S::State init = spec.initial_state();
+      if (dfs(init)) {
+        result.verdict = Verdict::kLinearizable;
+        result.witness = order;
+      } else {
+        result.verdict = nodes >= budget ? Verdict::kInconclusive
+                                         : Verdict::kNotLinearizable;
+      }
+      result.nodes_explored = nodes;
+      return result;
+    }
+
+    bool dfs(const typename S::State& state) {
+      if (final_state.has_value()) {
+        if (taken_total == ops.size()) {
+          return spec.encode_state(state) == spec.encode_state(*final_state);
+        }
+      } else if (taken_completed == num_completed) {
+        return true;
+      }
+      if (++nodes >= budget) return false;
+      const std::uint64_t key = memo_key(state);
+      if (failed.contains(key)) return false;
+
+      // The earliest response among not-yet-linearized operations bounds
+      // which operations may be linearized next: op i is a legal next pick
+      // iff no untaken operation responded before i was invoked.
+      std::uint64_t min_response = std::numeric_limits<std::uint64_t>::max();
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (!is_taken(i) && ops[i].completed()) {
+          min_response = std::min(min_response, ops[i].responded_at);
+        }
+      }
+
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (is_taken(i) || ops[i].invoked_at >= min_response) continue;
+        auto [next_state, resp] = spec.apply(state, ops[i].op);
+        if (ops[i].completed() &&
+            spec.encode_resp(resp) != spec.encode_resp(ops[i].resp)) {
+          continue;
+        }
+        set_taken(i);
+        ++taken_total;
+        if (ops[i].completed()) ++taken_completed;
+        order.push_back(i);
+        if (dfs(next_state)) return true;
+        order.pop_back();
+        if (ops[i].completed()) --taken_completed;
+        --taken_total;
+        clear_taken(i);
+      }
+      failed.insert(key);
+      return false;
+    }
+  };
+
+  const S& spec_;
+  std::uint64_t node_budget_;
+};
+
+/// Convenience wrapper.
+template <hi::spec::SequentialSpec S>
+LinResult check_linearizable(const S& spec,
+                             const History<typename S::Op, typename S::Resp>& h,
+                             std::uint64_t node_budget = 20'000'000) {
+  return LinearizabilityChecker<S>(spec, node_budget).check(h);
+}
+
+}  // namespace hi::verify

@@ -1,0 +1,158 @@
+// Real-thread tests for the rt register algorithms (Table 1, hardware
+// edition): Algorithm 1's leak reproduces byte-for-byte; Algorithm 2 is
+// canonical at write-quiescence but its reader can need many attempts under
+// a hot writer; Algorithm 4's reader always completes and the memory returns
+// to canon at quiescence.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "rt/registers_rt.h"
+#include "util/rng.h"
+
+namespace hi {
+namespace {
+
+TEST(RtVidyasankar, SequentialLeak) {
+  rt::RtVidyasankarRegister with_history(3);
+  with_history.write(2);
+  with_history.write(1);
+  EXPECT_EQ(with_history.memory_image(),
+            (std::vector<std::uint8_t>{1, 1, 0}));
+
+  rt::RtVidyasankarRegister without_history(3);
+  without_history.write(1);
+  EXPECT_EQ(without_history.memory_image(),
+            (std::vector<std::uint8_t>{1, 0, 0}));
+}
+
+TEST(RtVidyasankar, ConcurrentReadsReturnWrittenValues) {
+  rt::RtVidyasankarRegister reg(8, 3);
+  std::atomic<bool> stop{false};
+  // The writer writes only values from {3, 5, 7}; every read must observe
+  // one of them (3 is also the initial value).
+  std::thread writer([&] {
+    util::Xoshiro256 rng(1);
+    const std::uint32_t values[] = {3, 5, 7};
+    for (int i = 0; i < 50000; ++i) reg.write(values[rng.next_below(3)]);
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint32_t v = reg.read();
+      ASSERT_TRUE(v == 3 || v == 5 || v == 7) << v;
+    }
+  });
+  writer.join();
+  reader.join();
+}
+
+TEST(RtLockFreeHiRegister, CanonicalAfterQuiescence) {
+  rt::RtLockFreeHiRegister reg(6);
+  std::thread writer([&] {
+    util::Xoshiro256 rng(2);
+    for (int i = 0; i < 20000; ++i) {
+      reg.write(static_cast<std::uint32_t>(rng.next_in(1, 6)));
+    }
+    reg.write(4);
+  });
+  std::thread reader([&] {
+    for (int i = 0; i < 2000; ++i) {
+      // Bounded attempts: under a hot writer a TryRead may fail repeatedly
+      // (lock-freedom); give up after a generous budget rather than hang.
+      (void)reg.read(/*max_attempts=*/100000);
+    }
+  });
+  writer.join();
+  reader.join();
+  const auto image = reg.memory_image();
+  for (std::uint32_t v = 1; v <= 6; ++v) {
+    EXPECT_EQ(image[v - 1], v == 4 ? 1 : 0);
+  }
+}
+
+TEST(RtLockFreeHiRegister, ReadsReturnWrittenValues) {
+  rt::RtLockFreeHiRegister reg(8, 2);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    util::Xoshiro256 rng(3);
+    const std::uint32_t values[] = {2, 4, 8};
+    for (int i = 0; i < 30000; ++i) reg.write(values[rng.next_below(3)]);
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::optional<std::uint32_t> v = reg.read(100000);
+      if (v.has_value()) {
+        ASSERT_TRUE(*v == 2 || *v == 4 || *v == 8) << *v;
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+}
+
+TEST(RtWaitFreeHiRegister, ReaderAlwaysCompletesUnderHotWriter) {
+  rt::RtWaitFreeHiRegister reg(6, 1);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads_done{0};
+  std::thread writer([&] {
+    util::Xoshiro256 rng(4);
+    for (int i = 0; i < 60000; ++i) {
+      reg.write(static_cast<std::uint32_t>(rng.next_in(1, 6)));
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint32_t v = reg.read();  // unconditionally terminates
+      ASSERT_GE(v, 1u);
+      ASSERT_LE(v, 6u);
+      reads_done.fetch_add(1);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_GT(reads_done.load(), 100u);
+}
+
+TEST(RtWaitFreeHiRegister, QuiescentMemoryCanonical) {
+  rt::RtWaitFreeHiRegister reg(5, 1);
+  std::thread writer([&] {
+    util::Xoshiro256 rng(5);
+    for (int i = 0; i < 20000; ++i) {
+      reg.write(static_cast<std::uint32_t>(rng.next_in(1, 5)));
+    }
+    reg.write(3);
+  });
+  std::thread reader([&] {
+    for (int i = 0; i < 3000; ++i) (void)reg.read();
+  });
+  writer.join();
+  reader.join();
+  const auto image = reg.memory_image();
+  ASSERT_EQ(image.size(), 12u);  // A[5] B[5] flag[2]
+  for (std::uint32_t v = 1; v <= 5; ++v) {
+    EXPECT_EQ(image[v - 1], v == 3 ? 1 : 0) << "A[" << v << "]";
+    EXPECT_EQ(image[5 + v - 1], 0) << "B[" << v << "]";
+  }
+  EXPECT_EQ(image[10], 0);
+  EXPECT_EQ(image[11], 0);
+}
+
+TEST(RtWaitFreeHiRegister, SequentialHiAcrossPaths) {
+  // Same final value via different op sequences ⇒ identical memory.
+  rt::RtWaitFreeHiRegister a(4);
+  a.write(2);
+  rt::RtWaitFreeHiRegister b(4);
+  b.write(4);
+  b.write(1);
+  b.write(2);
+  EXPECT_EQ(a.memory_image(), b.memory_image());
+}
+
+}  // namespace
+}  // namespace hi

@@ -1,0 +1,237 @@
+// Unit tests for the sequential specifications (Q, q0, O, R, Δ) — §2 of the
+// paper — including the class-C_t hooks (Definition 13) and the queue's
+// representative-state machinery (§5.4).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "spec/cas_spec.h"
+#include "spec/counter_spec.h"
+#include "spec/max_register_spec.h"
+#include "spec/queue_spec.h"
+#include "spec/register_spec.h"
+#include "spec/set_spec.h"
+#include "spec/spec.h"
+#include "spec/stack_spec.h"
+
+namespace hi::spec {
+namespace {
+
+static_assert(SequentialSpec<RegisterSpec>);
+static_assert(SequentialSpec<CounterSpec>);
+static_assert(SequentialSpec<QueueSpec>);
+static_assert(SequentialSpec<SetSpec>);
+static_assert(SequentialSpec<MaxRegisterSpec>);
+static_assert(SequentialSpec<CasSpec>);
+static_assert(SequentialSpec<StackSpec>);
+static_assert(EnumerableSpec<RegisterSpec>);
+static_assert(EnumerableSpec<QueueSpec>);
+static_assert(StronglyConnectedSpec<RegisterSpec>);
+static_assert(StronglyConnectedSpec<CasSpec>);
+
+TEST(RegisterSpec, ReadReturnsState) {
+  RegisterSpec spec(5, 3);
+  EXPECT_EQ(spec.initial_state(), 3u);
+  auto [next, resp] = spec.apply(3, RegisterSpec::read());
+  EXPECT_EQ(next, 3u);
+  EXPECT_EQ(resp, 3u);
+}
+
+TEST(RegisterSpec, WriteMovesAnywhere) {
+  RegisterSpec spec(5);
+  for (std::uint32_t from = 1; from <= 5; ++from) {
+    for (std::uint32_t to = 1; to <= 5; ++to) {
+      auto [next, resp] = spec.apply(from, RegisterSpec::write(to));
+      EXPECT_EQ(next, to);
+    }
+  }
+}
+
+TEST(RegisterSpec, ClassCtInterface) {
+  RegisterSpec spec(4);
+  EXPECT_TRUE(spec.is_read_only(spec.read_op()));
+  auto [next, resp] = spec.apply(2, spec.change_op(2, 4));
+  EXPECT_EQ(next, 4u);
+}
+
+TEST(RegisterSpec, OpEncodingRoundTrip) {
+  RegisterSpec spec(7);
+  EXPECT_EQ(spec.decode_op(spec.encode_op(RegisterSpec::read())),
+            RegisterSpec::read());
+  for (std::uint32_t v = 1; v <= 7; ++v) {
+    EXPECT_EQ(spec.decode_op(spec.encode_op(RegisterSpec::write(v))),
+              RegisterSpec::write(v));
+  }
+}
+
+TEST(RegisterSpec, EnumerateStates) {
+  RegisterSpec spec(6);
+  EXPECT_EQ(spec.enumerate_states().size(), 6u);
+}
+
+TEST(CounterSpec, IncDecSaturate) {
+  CounterSpec spec(3, 0);
+  auto [one, r0] = spec.apply(0, CounterSpec::inc());
+  EXPECT_EQ(one, 1u);
+  EXPECT_EQ(r0, 0u);  // fetch-and-inc reports the old value
+  auto [zero, r1] = spec.apply(0, CounterSpec::dec());
+  EXPECT_EQ(zero, 0u);  // saturates at 0
+  auto [three, r2] = spec.apply(3, CounterSpec::inc());
+  EXPECT_EQ(three, 3u);  // saturates at max
+}
+
+TEST(CounterSpec, ReadIsReadOnly) {
+  CounterSpec spec;
+  EXPECT_TRUE(spec.is_read_only(CounterSpec::read()));
+  EXPECT_FALSE(spec.is_read_only(CounterSpec::inc()));
+  EXPECT_FALSE(spec.is_read_only(CounterSpec::dec()));
+}
+
+TEST(QueueSpec, FifoOrder) {
+  QueueSpec spec(5);
+  QueueSpec::State q = spec.initial_state();
+  q = spec.apply(q, QueueSpec::enqueue(3)).first;
+  q = spec.apply(q, QueueSpec::enqueue(1)).first;
+  auto [q2, front] = spec.apply(q, QueueSpec::dequeue());
+  EXPECT_EQ(front, 3u);
+  auto [q3, front2] = spec.apply(q2, QueueSpec::dequeue());
+  EXPECT_EQ(front2, 1u);
+  EXPECT_TRUE(q3.empty());
+}
+
+TEST(QueueSpec, PeekAndEmptyResponses) {
+  QueueSpec spec(5);
+  const QueueSpec::State empty = spec.initial_state();
+  EXPECT_EQ(spec.apply(empty, QueueSpec::peek()).second, QueueSpec::kEmptyResp);
+  EXPECT_EQ(spec.apply(empty, QueueSpec::dequeue()).second,
+            QueueSpec::kEmptyResp);
+  const auto one = spec.apply(empty, QueueSpec::enqueue(4)).first;
+  EXPECT_EQ(spec.apply(one, QueueSpec::peek()).second, 4u);
+}
+
+TEST(QueueSpec, CapacityBound) {
+  QueueSpec spec(3, 2);
+  QueueSpec::State q = spec.initial_state();
+  q = spec.apply(q, QueueSpec::enqueue(1)).first;
+  q = spec.apply(q, QueueSpec::enqueue(2)).first;
+  q = spec.apply(q, QueueSpec::enqueue(3)).first;  // dropped: full
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(QueueSpec, StateEncodingInjective) {
+  QueueSpec spec(4, 3);
+  std::set<std::uint64_t> encodings;
+  const auto states = spec.enumerate_states();
+  for (const auto& state : states) encodings.insert(spec.encode_state(state));
+  EXPECT_EQ(encodings.size(), states.size());
+  // 1 + 4 + 16 + 64 states for domain 4, capacity 3.
+  EXPECT_EQ(states.size(), 85u);
+}
+
+TEST(QueueSpec, RepresentativeStatesAndChangeSeq) {
+  // §5.4: S(i1, i2) moves representative q_{i1} to q_{i2}, and Peek along the
+  // way only ever returns r_{i1} or r_{i2}.
+  QueueSpec spec(4);
+  for (std::uint32_t i1 = 0; i1 <= 4; ++i1) {
+    for (std::uint32_t i2 = 0; i2 <= 4; ++i2) {
+      if (i1 == i2) continue;
+      QueueSpec::State state = spec.representative(i1);
+      for (const auto& op : spec.change_seq(i1, i2)) {
+        const auto peek_before = spec.apply(state, QueueSpec::peek()).second;
+        EXPECT_TRUE(peek_before == i1 || peek_before == i2);
+        state = spec.apply(state, op).first;
+      }
+      EXPECT_EQ(state, spec.representative(i2));
+      EXPECT_EQ(spec.apply(state, QueueSpec::peek()).second, i2);
+    }
+  }
+}
+
+TEST(SetSpec, MembershipAndConstantUpdateResponses) {
+  SetSpec spec(8);
+  SetSpec::State s = spec.initial_state();
+  auto [s1, r1] = spec.apply(s, SetSpec::insert(3));
+  EXPECT_TRUE(r1);
+  auto [s2, r2] = spec.apply(s1, SetSpec::insert(3));
+  EXPECT_TRUE(r2);  // constant ack, even when already present
+  EXPECT_TRUE(spec.apply(s2, SetSpec::lookup(3)).second);
+  EXPECT_FALSE(spec.apply(s2, SetSpec::lookup(4)).second);
+  auto [s3, r3] = spec.apply(s2, SetSpec::remove(3));
+  EXPECT_TRUE(r3);
+  EXPECT_FALSE(spec.apply(s3, SetSpec::lookup(3)).second);
+}
+
+TEST(SetSpec, StateIsBitmask) {
+  SetSpec spec(8);
+  SetSpec::State s = spec.initial_state();
+  s = spec.apply(s, SetSpec::insert(1)).first;
+  s = spec.apply(s, SetSpec::insert(8)).first;
+  EXPECT_EQ(spec.encode_state(s), 0b10000001u);
+}
+
+TEST(MaxRegisterSpec, Monotone) {
+  MaxRegisterSpec spec(10);
+  auto [s1, _] = spec.apply(5, MaxRegisterSpec::write_max(3));
+  EXPECT_EQ(s1, 5u);  // smaller write is absorbed
+  auto [s2, _2] = spec.apply(5, MaxRegisterSpec::write_max(8));
+  EXPECT_EQ(s2, 8u);
+  EXPECT_EQ(spec.apply(8, MaxRegisterSpec::read_max()).second, 8u);
+}
+
+TEST(CasSpec, SemanticsAndClassCt) {
+  CasSpec spec(6, 2);
+  auto [s1, r1] = spec.apply(2, CasSpec::cas(2, 5));
+  EXPECT_EQ(s1, 5u);
+  EXPECT_TRUE(r1.success);
+  auto [s2, r2] = spec.apply(5, CasSpec::cas(2, 3));
+  EXPECT_EQ(s2, 5u);
+  EXPECT_FALSE(r2.success);
+  auto [s3, r3] = spec.apply(5, spec.change_op(5, 1));
+  EXPECT_EQ(s3, 1u);
+}
+
+TEST(CasSpec, EncodingRoundTrip) {
+  CasSpec spec(100);
+  const auto op = CasSpec::cas(17, 99);
+  EXPECT_EQ(spec.decode_op(spec.encode_op(op)), op);
+  const CasSpec::Resp resp{true, 42};
+  EXPECT_EQ(spec.decode_resp(spec.encode_resp(resp)), resp);
+}
+
+TEST(StackSpec, LifoOrder) {
+  StackSpec spec(5);
+  StackSpec::State s = spec.initial_state();
+  s = spec.apply(s, StackSpec::push(3)).first;
+  s = spec.apply(s, StackSpec::push(1)).first;
+  EXPECT_EQ(spec.apply(s, StackSpec::top()).second, 1u);
+  auto [s2, popped] = spec.apply(s, StackSpec::pop());
+  EXPECT_EQ(popped, 1u);
+  EXPECT_EQ(spec.apply(s2, StackSpec::pop()).second, 3u);
+}
+
+TEST(StackSpec, QueueAndStackEncodingsDifferOnSameOps) {
+  // Same insertion order, different abstract objects: the canonical state
+  // encodings must reflect the container semantics, not the op history.
+  QueueSpec qspec(5);
+  StackSpec sspec(5);
+  QueueSpec::State q = qspec.initial_state();
+  StackSpec::State s = sspec.initial_state();
+  q = qspec.apply(q, QueueSpec::enqueue(1)).first;
+  q = qspec.apply(q, QueueSpec::enqueue(2)).first;
+  s = sspec.apply(s, StackSpec::push(1)).first;
+  s = sspec.apply(s, StackSpec::push(2)).first;
+  // Remove one element from each; queue drops 1, stack drops 2.
+  EXPECT_EQ(qspec.apply(q, QueueSpec::dequeue()).second, 1u);
+  EXPECT_EQ(sspec.apply(s, StackSpec::pop()).second, 2u);
+}
+
+TEST(ReplayHelper, AppliesSequence) {
+  RegisterSpec spec(5);
+  const auto final_state = replay(
+      spec, {RegisterSpec::write(4), RegisterSpec::read(),
+             RegisterSpec::write(2)});
+  EXPECT_EQ(final_state, 2u);
+}
+
+}  // namespace
+}  // namespace hi::spec
