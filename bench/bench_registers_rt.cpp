@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "rt/registers_rt.h"
+#include "util/bench_json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -158,10 +159,53 @@ void print_attempt_distribution() {
   }
 }
 
+/// Machine-readable results (BENCH_registers.json) for cross-PR tracking.
+void emit_bench_json() {
+  util::BenchReport report("registers");
+  const auto solo = [&report](const char* name, auto make_reg, bool reads) {
+    auto reg = make_reg();
+    util::Xoshiro256 rng(9);
+    report.add(util::measure_throughput(
+        name, 1, 100'000, [&](int, std::size_t) {
+          if (reads) {
+            benchmark::DoNotOptimize(reg.read());
+          } else {
+            reg.write(static_cast<std::uint32_t>(rng.next_in(1, kValues)));
+          }
+        }));
+  };
+  solo("alg1/solo_write",
+       [] { return rt::RtVidyasankarRegister(kValues, kValues / 2); }, false);
+  solo("alg2/solo_write",
+       [] { return rt::RtLockFreeHiRegister(kValues, kValues / 2); }, false);
+  solo("alg4/solo_write",
+       [] { return rt::RtWaitFreeHiRegister(kValues, kValues / 2); }, false);
+  solo("alg1/solo_read",
+       [] { return rt::RtVidyasankarRegister(kValues, kValues / 2); }, true);
+  solo("alg4/solo_read",
+       [] { return rt::RtWaitFreeHiRegister(kValues, kValues / 2); }, true);
+  {
+    // SWSR under genuine concurrency: tid 0 writes, tid 1 reads (Alg 4's
+    // wait-free reader never blocks, so both sides are unconditional).
+    rt::RtWaitFreeHiRegister reg(kValues);
+    util::Xoshiro256 rng(10);
+    report.add(util::measure_throughput(
+        "alg4/swsr_mixed", 2, 50'000, [&](int tid, std::size_t) {
+          if (tid == 0) {
+            reg.write(static_cast<std::uint32_t>(rng.next_in(1, kValues)));
+          } else {
+            benchmark::DoNotOptimize(reg.read());
+          }
+        }));
+  }
+  report.write();
+}
+
 }  // namespace
 }  // namespace hi
 
 int main(int argc, char** argv) {
+  hi::emit_bench_json();
   hi::print_attempt_distribution();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -7,6 +7,7 @@
 
 #include "rt/atomic128.h"
 #include "rt/rllsc_rt.h"
+#include "util/bench_json.h"
 
 namespace hi {
 namespace {
@@ -115,7 +116,46 @@ void BM_Vl(benchmark::State& state) {
 }
 BENCHMARK(BM_Vl)->Name("vl")->Threads(1)->Threads(8)->UseRealTime();
 
+/// Machine-readable results (BENCH_rllsc.json) for cross-PR tracking.
+void emit_bench_json() {
+  util::BenchReport report("rllsc");
+  for (const int threads : {1, 2, 4}) {
+    rt::RtRllsc cell(0);
+    report.add(util::measure_throughput(
+        "ll_sc_pair", threads, 50'000, [&cell](int tid, std::size_t) {
+          const std::uint64_t seen = cell.ll(tid);
+          benchmark::DoNotOptimize(cell.sc(tid, seen + 1));
+        }));
+  }
+  {
+    rt::RtRllsc cell(0);
+    report.add(util::measure_throughput(
+        "ll_rl_pair", 2, 50'000, [&cell](int tid, std::size_t) {
+          benchmark::DoNotOptimize(cell.ll(tid));
+          benchmark::DoNotOptimize(cell.rl(tid));
+        }));
+  }
+  {
+    rt::RtRllsc cell(7);
+    report.add(util::measure_throughput(
+        "load", 1, 200'000, [&cell](int, std::size_t) {
+          benchmark::DoNotOptimize(cell.load());
+        }));
+    report.add(util::measure_throughput(
+        "store", 1, 200'000, [&cell](int, std::size_t i) {
+          benchmark::DoNotOptimize(cell.store(i));
+        }));
+  }
+  report.write();
+}
+
 }  // namespace
 }  // namespace hi
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  hi::emit_bench_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

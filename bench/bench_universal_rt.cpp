@@ -24,6 +24,7 @@
 #include "rt/baselines_rt.h"
 #include "rt/universal_rt.h"
 #include "spec/counter_spec.h"
+#include "util/bench_json.h"
 #include "util/stats.h"
 
 namespace hi {
@@ -161,10 +162,38 @@ void print_latency_table() {
   std::printf("\n");
 }
 
+/// Machine-readable results (BENCH_universal.json) for cross-PR tracking.
+void emit_bench_json() {
+  util::BenchReport report("universal");
+  for (const int threads : {1, 2, 4}) {
+    rt::RtUniversal<CounterSpec> object(counter_spec(), threads);
+    report.add(util::measure_throughput(
+        "hi_universal/inc", threads, 20'000, [&object](int tid, std::size_t) {
+          benchmark::DoNotOptimize(object.apply(tid, CounterSpec::inc()));
+        }));
+  }
+  {
+    rt::RtUniversal<CounterSpec> object(counter_spec(), 2);
+    report.add(util::measure_throughput(
+        "hi_universal/read", 1, 100'000, [&object](int, std::size_t) {
+          benchmark::DoNotOptimize(object.apply(0, CounterSpec::read()));
+        }));
+  }
+  {
+    rt::RtLeakyUniversal<CounterSpec> object(counter_spec(), 4);
+    report.add(util::measure_throughput(
+        "leaky_universal/inc", 4, 20'000, [&object](int tid, std::size_t) {
+          benchmark::DoNotOptimize(object.apply(tid, CounterSpec::inc()));
+        }));
+  }
+  report.write();
+}
+
 }  // namespace
 }  // namespace hi
 
 int main(int argc, char** argv) {
+  hi::emit_bench_json();
   hi::print_latency_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,300 @@
+// The §4 SWSR K-valued register algorithms, written ONCE over an execution
+// environment Env (src/env/env.h) and instantiated by both the simulator
+// (src/core — exhaustive interleaving + HI checking) and real hardware
+// (src/rt — stress tests and benchmarks).
+//
+//   VidyasankarAlg  — Algorithm 1 [46]: wait-free, NOT history independent.
+//                     Write(v) sets A[v] and clears only *downwards*, so the
+//                     array retains 1s above the current value: the memory
+//                     leaks previously-written larger values even in
+//                     sequential executions (Write(2);Write(1) leaves
+//                     [1,1,0] where Write(1) leaves [1,0,0]).
+//   LockFreeHiAlg   — Algorithms 2+3 (Theorem 9): Write additionally clears
+//                     *upwards*, giving each abstract state the unique
+//                     canonical representation can(v) = e_v whenever no
+//                     Write is pending (state-quiescent HI). The price is
+//                     the reader's progress: TryRead can chase the moving 1
+//                     forever, so Read is lock-free but not wait-free.
+//   WaitFreeHiAlg   — Algorithm 4 (Theorem 12): the reader announces itself
+//                     via flag[1]; a writer that sees a concurrent reader
+//                     helps by publishing its previous value in array B, so
+//                     the reader always has a value after two failed
+//                     TryReads (Lemma 10); both sides erase their footprints
+//                     (Lemma 35). Quiescent HI but not state-quiescent HI —
+//                     exactly the Table 1 separation (wait-free +
+//                     state-quiescent HI is impossible, Corollary 18).
+//
+// NOTE: throughout the single-source algorithms, every co_await lands in a
+// named local before being branched on (GCC 12 miscompiles awaits that
+// appear directly inside if/while conditions).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hi::algo {
+
+/// Algorithm 1 [Vidyasankar].
+template <typename Env>
+class VidyasankarAlg {
+ public:
+  template <typename T>
+  using Op = typename Env::template Op<T>;
+
+  VidyasankarAlg(typename Env::Ctx ctx, std::uint32_t num_values,
+                 std::uint32_t initial)
+      : num_values_(num_values),
+        a_(Env::make_bin_array(ctx, "A", num_values, initial)) {
+    assert(initial >= 1 && initial <= num_values);
+  }
+
+  /// Read(): scan up to the first 1, then scan down taking any smaller 1.
+  Op<std::uint32_t> read() {
+    std::uint32_t j = 1;
+    for (;;) {
+      const std::uint8_t bit = co_await Env::read_bit(a_, j);
+      if (bit == 1) break;
+      ++j;
+      assert(j <= num_values_ && "A contains no 1 — impossible in Alg 1");
+    }
+    std::uint32_t val = j;
+    for (std::uint32_t down = j; down-- > 1;) {
+      const std::uint8_t bit = co_await Env::read_bit(a_, down);
+      if (bit == 1) val = down;
+    }
+    co_return val;
+  }
+
+  /// Write(v): set A[v], then clear downwards from v-1 to 1.
+  Op<std::uint32_t> write(std::uint32_t value) {
+    assert(value >= 1 && value <= num_values_);
+    co_await Env::write_bit(a_, value, 1);
+    for (std::uint32_t j = value; j-- > 1;) {
+      co_await Env::write_bit(a_, j, 0);
+    }
+    co_return 0;
+  }
+
+  /// Observer-side memory image (A[1..K]); never a step of the model.
+  void encode_memory(std::vector<std::uint8_t>& out) const {
+    for (std::uint32_t v = 1; v <= num_values_; ++v) {
+      out.push_back(Env::peek_bit(a_, v));
+    }
+  }
+
+  std::uint32_t num_values() const { return num_values_; }
+
+ private:
+  std::uint32_t num_values_;
+  typename Env::BinArray a_;
+};
+
+/// Algorithms 2 + 3: lock-free state-quiescent-HI register.
+template <typename Env>
+class LockFreeHiAlg {
+ public:
+  template <typename T>
+  using Op = typename Env::template Op<T>;
+  template <typename T>
+  using Sub = typename Env::template Sub<T>;
+
+  LockFreeHiAlg(typename Env::Ctx ctx, std::uint32_t num_values,
+                std::uint32_t initial)
+      : num_values_(num_values),
+        a_(Env::make_bin_array(ctx, "A", num_values, initial)) {
+    assert(initial >= 1 && initial <= num_values);
+  }
+
+  /// Read(): retry TryRead until it finds a value (Algorithm 2, lines 1–4).
+  Op<std::uint32_t> read() {
+    const std::optional<std::uint32_t> val = co_await read_attempts(0);
+    co_return *val;
+  }
+
+  /// Bounded-retry Read for hardware harnesses: nullopt after
+  /// `max_attempts` failed TryReads (0 = retry forever, as the paper's
+  /// lock-free Read does).
+  Op<std::optional<std::uint32_t>> read_bounded(std::uint64_t max_attempts) {
+    const std::optional<std::uint32_t> val = co_await read_attempts(max_attempts);
+    co_return val;
+  }
+
+  /// Write(v): set A[v], clear down v-1..1, then clear up v+1..K
+  /// (Algorithm 2, lines 5–7).
+  Op<std::uint32_t> write(std::uint32_t value) {
+    assert(value >= 1 && value <= num_values_);
+    co_await Env::write_bit(a_, value, 1);
+    for (std::uint32_t j = value; j-- > 1;) {
+      co_await Env::write_bit(a_, j, 0);
+    }
+    for (std::uint32_t j = value + 1; j <= num_values_; ++j) {
+      co_await Env::write_bit(a_, j, 0);
+    }
+    co_return 0;
+  }
+
+  void encode_memory(std::vector<std::uint8_t>& out) const {
+    for (std::uint32_t v = 1; v <= num_values_; ++v) {
+      out.push_back(Env::peek_bit(a_, v));
+    }
+  }
+
+  std::uint32_t num_values() const { return num_values_; }
+
+ private:
+  /// The Read retry loop (Algorithm 2, lines 1–4), shared between the
+  /// unbounded and the bounded entry points.
+  Sub<std::optional<std::uint32_t>> read_attempts(std::uint64_t max_attempts) {
+    for (std::uint64_t attempt = 0;
+         max_attempts == 0 || attempt < max_attempts; ++attempt) {
+      const std::optional<std::uint32_t> val = co_await try_read();
+      if (val.has_value()) co_return val;
+    }
+    co_return std::nullopt;
+  }
+
+  /// TryRead (Algorithm 3): one upward scan for a 1; on success, downward
+  /// confirmation scan; ⊥ (nullopt) if the whole array read as 0.
+  Sub<std::optional<std::uint32_t>> try_read() {
+    for (std::uint32_t j = 1; j <= num_values_; ++j) {
+      const std::uint8_t bit = co_await Env::read_bit(a_, j);
+      if (bit == 1) {
+        std::uint32_t val = j;
+        for (std::uint32_t down = j; down-- > 1;) {
+          const std::uint8_t low = co_await Env::read_bit(a_, down);
+          if (low == 1) val = down;
+        }
+        co_return val;
+      }
+    }
+    co_return std::nullopt;
+  }
+
+  std::uint32_t num_values_;
+  typename Env::BinArray a_;
+};
+
+/// Algorithm 4: wait-free quiescent-HI register.
+template <typename Env>
+class WaitFreeHiAlg {
+ public:
+  template <typename T>
+  using Op = typename Env::template Op<T>;
+  template <typename T>
+  using Sub = typename Env::template Sub<T>;
+
+  WaitFreeHiAlg(typename Env::Ctx ctx, std::uint32_t num_values,
+                std::uint32_t initial)
+      : num_values_(num_values),
+        last_val_(initial),
+        a_(Env::make_bin_array(ctx, "A", num_values, initial)),
+        b_(Env::make_bin_array(ctx, "B", num_values, 0)),
+        flags_(Env::make_bin_array(ctx, "flag", 2, 0)) {
+    assert(initial >= 1 && initial <= num_values);
+  }
+
+  /// Read() — Algorithm 4, lines 1–10.
+  Op<std::uint32_t> read() {
+    co_await Env::write_bit(flags_, 1, 1);  // line 1: announce
+    std::uint32_t val = 0;                  // 0 encodes ⊥
+    for (int attempt = 0; attempt < 2; ++attempt) {  // line 2
+      const std::optional<std::uint32_t> got = co_await try_read();
+      if (got.has_value()) {  // line 4: goto line 7
+        val = *got;
+        break;
+      }
+    }
+    if (val == 0) {
+      // Lines 5–6: read B; take the *last* index seen holding 1.
+      for (std::uint32_t j = 1; j <= num_values_; ++j) {
+        const std::uint8_t bit = co_await Env::read_bit(b_, j);
+        if (bit == 1) val = j;
+      }
+      assert(val != 0 && "Lemma 10: val != ⊥ at line 7");
+    }
+    co_await Env::write_bit(flags_, 2, 1);  // line 7
+    for (std::uint32_t j = 1; j <= num_values_; ++j) {  // line 8: clear B
+      co_await Env::write_bit(b_, j, 0);
+    }
+    co_await Env::write_bit(flags_, 1, 0);  // line 9
+    co_await Env::write_bit(flags_, 2, 0);
+    co_return val;  // line 10
+  }
+
+  /// Write(v) — Algorithm 4, lines 11–19.
+  Op<std::uint32_t> write(std::uint32_t value) {
+    assert(value >= 1 && value <= num_values_);
+    // Line 11: check whether B is all-zero (scan; stop at the first 1, which
+    // already falsifies the condition).
+    bool b_all_zero = true;
+    for (std::uint32_t j = 1; j <= num_values_; ++j) {
+      const std::uint8_t bit = co_await Env::read_bit(b_, j);
+      if (bit == 1) {
+        b_all_zero = false;
+        break;
+      }
+    }
+    if (b_all_zero) {
+      const std::uint8_t f1_seen = co_await Env::read_bit(flags_, 1);
+      if (f1_seen == 1) {  // line 12: concurrent reader?
+        co_await Env::write_bit(b_, last_val_, 1);  // line 13: help
+        // Line 14: read flag[2], then flag[1] (this order matters; Lemma 35).
+        const std::uint8_t f2 = co_await Env::read_bit(flags_, 2);
+        const std::uint8_t f1 = co_await Env::read_bit(flags_, 1);
+        if (f2 == 1 || f1 == 0) {
+          co_await Env::write_bit(b_, last_val_, 0);  // line 15
+        }
+      }
+    }
+    co_await Env::write_bit(a_, value, 1);     // line 16
+    for (std::uint32_t j = value; j-- > 1;) {  // line 17
+      co_await Env::write_bit(a_, j, 0);
+    }
+    for (std::uint32_t j = value + 1; j <= num_values_; ++j) {  // line 18
+      co_await Env::write_bit(a_, j, 0);
+    }
+    last_val_ = value;  // line 19 (writer-local; not part of mem(C))
+    co_return 0;
+  }
+
+  /// Memory image in mem(C) layout order: A[1..K], B[1..K], flag[1..2].
+  void encode_memory(std::vector<std::uint8_t>& out) const {
+    for (std::uint32_t v = 1; v <= num_values_; ++v) {
+      out.push_back(Env::peek_bit(a_, v));
+    }
+    for (std::uint32_t v = 1; v <= num_values_; ++v) {
+      out.push_back(Env::peek_bit(b_, v));
+    }
+    out.push_back(Env::peek_bit(flags_, 1));
+    out.push_back(Env::peek_bit(flags_, 2));
+  }
+
+  std::uint32_t num_values() const { return num_values_; }
+
+ private:
+  /// TryRead — Algorithm 3, shared with Algorithm 2.
+  Sub<std::optional<std::uint32_t>> try_read() {
+    for (std::uint32_t j = 1; j <= num_values_; ++j) {
+      const std::uint8_t bit = co_await Env::read_bit(a_, j);
+      if (bit == 1) {
+        std::uint32_t val = j;
+        for (std::uint32_t down = j; down-- > 1;) {
+          const std::uint8_t low = co_await Env::read_bit(a_, down);
+          if (low == 1) val = down;
+        }
+        co_return val;
+      }
+    }
+    co_return std::nullopt;
+  }
+
+  std::uint32_t num_values_;
+  std::uint32_t last_val_;  // the writer's persistent local variable
+  typename Env::BinArray a_;
+  typename Env::BinArray b_;
+  typename Env::BinArray flags_;
+};
+
+}  // namespace hi::algo

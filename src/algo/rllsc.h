@@ -1,0 +1,129 @@
+// Algorithm 6: lock-free perfect-HI releasable-LL/SC object from atomic CAS
+// (§6.3, Theorem 28), written ONCE over an execution environment Env and
+// instantiated by the simulator (src/core/rllsc.h) and by real hardware
+// (src/rt/rllsc_rt.h, over a 16-byte CMPXCHG16B word).
+//
+// The R-LLSC state (val, context) is stored in a *single* CAS word; memory
+// is therefore exactly the encoding of the abstract state — no auxiliary
+// information exists — which is why the implementation is perfect HI.
+// LL, SC and RL are CAS retry loops and hence only lock-free; VL, Load and
+// Store are single primitives. The interleaved-LL entry point realizes
+// Algorithm 5's `‖` construction: between successive CAS attempts of a
+// (possibly blocking) LL, one step of the caller-provided right-hand-side
+// poll runs, and a true poll abandons the LL (leaving at most a context
+// trace, which the caller's RL erases — line 18R.2).
+//
+// Process identities are explicit small integers (0..63) supplied by the
+// caller, exactly as the paper's p_i; the simulator wrapper recovers them
+// from the scheduler so existing call sites stay pid-implicit.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "algo/values.h"
+#include "util/bits.h"
+
+namespace hi::algo {
+
+template <typename Env>
+class CasRllscAlg {
+ public:
+  using V = typename Env::Value;
+  using Word = typename Env::Word;
+  template <typename T>
+  using Sub = typename Env::template Sub<T>;
+
+  CasRllscAlg(typename Env::Ctx ctx, std::string name, V initial)
+      : cell_(Env::make_cas(ctx, std::move(name), initial)) {}
+
+  /// LL(O) — lines 1–6: CAS-install the caller's context bit, retrying on
+  /// interference. Lock-free; may run forever under contention.
+  Sub<V> ll(int pid) {
+    Word cur = co_await Env::cas_read(cell_);
+    for (;;) {
+      Word linked = cur;
+      linked.ctx = util::set_bit(linked.ctx, bit(pid));
+      const bool installed = co_await Env::cas(cell_, cur, linked);
+      if (installed) co_return cur.value;
+      cur = co_await Env::cas_read(cell_);
+    }
+  }
+
+  /// LL with Algorithm 5's `‖` right-hand side: after every failed CAS
+  /// attempt run one poll; a true poll abandons the LL and yields nullopt.
+  /// `poll` is a nullary callable returning an awaitable of bool.
+  template <typename Poll>
+  Sub<std::optional<V>> ll_interleaved(int pid, Poll poll) {
+    Word cur = co_await Env::cas_read(cell_);
+    for (;;) {
+      Word linked = cur;
+      linked.ctx = util::set_bit(linked.ctx, bit(pid));
+      const bool installed = co_await Env::cas(cell_, cur, linked);
+      if (installed) co_return cur.value;
+      const bool bail = co_await poll();
+      if (bail) co_return std::nullopt;
+      cur = co_await Env::cas_read(cell_);
+    }
+  }
+
+  /// VL(O) — lines 12–13.
+  Sub<bool> vl(int pid) {
+    const Word cur = co_await Env::cas_read(cell_);
+    co_return util::test_bit(cur.ctx, bit(pid));
+  }
+
+  /// SC(O, new) — lines 7–11: succeeds iff the caller is still linked.
+  Sub<bool> sc(int pid, V desired) {
+    Word cur = co_await Env::cas_read(cell_);
+    while (util::test_bit(cur.ctx, bit(pid))) {
+      const bool swapped = co_await Env::cas(cell_, cur, Word{desired, 0});
+      if (swapped) co_return true;
+      cur = co_await Env::cas_read(cell_);
+    }
+    co_return false;
+  }
+
+  /// RL(O) — lines 14–20: removes the caller from the context; always true.
+  Sub<bool> rl(int pid) {
+    Word cur = co_await Env::cas_read(cell_);
+    while (util::test_bit(cur.ctx, bit(pid))) {
+      Word released = cur;
+      released.ctx = util::clear_bit(released.ctx, bit(pid));
+      const bool swapped = co_await Env::cas(cell_, cur, released);
+      if (swapped) co_return true;
+      cur = co_await Env::cas_read(cell_);
+    }
+    co_return true;
+  }
+
+  /// Load(O) — lines 21–22.
+  Sub<V> load() {
+    const Word cur = co_await Env::cas_read(cell_);
+    co_return cur.value;
+  }
+
+  /// Store(O, new) — lines 23–24: unconditional, resets the context.
+  Sub<bool> store(V desired) {
+    const bool done = co_await Env::cas_write(cell_, Word{desired, 0});
+    co_return done;
+  }
+
+  // Observer-side introspection (not steps): abstract state of the R-LLSC
+  // object, which for this implementation is literally the memory word.
+  V peek_value() const { return Env::peek_cas(cell_).value; }
+  std::uint64_t peek_context() const { return Env::peek_cas(cell_).ctx; }
+  Word peek_word() const { return Env::peek_cas(cell_); }
+
+  bool is_lock_free() const { return Env::cas_is_lock_free(cell_); }
+
+ private:
+  static unsigned bit(int pid) { return static_cast<unsigned>(pid); }
+
+  typename Env::CasCell cell_;
+};
+
+}  // namespace hi::algo

@@ -1,0 +1,359 @@
+// Algorithm 5: wait-free state-quiescent-HI universal implementation from
+// releasable LL/SC (§6.1), written ONCE over an execution environment Env,
+// generic over the sequential specification S and over the R-LLSC cell
+// implementation Cell:
+//
+//   UniversalAlg<SimEnv, S, NativeRllsc>     — over ideal atomic R-LLSC cells
+//   UniversalAlg<SimEnv, S, CasRllscAlg<…>>  — the full Theorem 32 composition
+//   UniversalAlg<RtEnv,  S, CasRllscAlg<…>>  — the same composition on
+//                                              hardware (CMPXCHG16B words)
+//
+// Layout. head holds ⟨q, r⟩ where q is the abstract state and r is either ⊥
+// (in-between operations — "mode A") or ⟨rsp, j⟩, the response of the most
+// recently applied operation and its invoking process ("mode B").
+// announce[1..n] holds each process's pending operation descriptor, later
+// overwritten by its response, and cleared to ⊥ before the operation
+// returns — so at any state-quiescent configuration the announce array is
+// all-⊥, head is ⟨q, ⊥⟩, and every context is empty (Lemmas 26, 27): memory
+// is a function of the abstract state alone.
+//
+// The paper's `‖` notation (lines 6, 18, 25 interleaved with the blue
+// right-hand sides) is realized by ll_interleaved: one right-hand-side poll
+// step runs between successive low-level steps of a possibly-blocking LL,
+// and a successful poll abandons the LL (6R.2 / 18R.1-3 / 25R.1-2). The
+// paper's 6R.1/18R.1 "wait until Load(announce[i]) ∉ R" is read as
+// "... ∈ R" — the bail must fire when the response has *arrived* (matching
+// the exit condition of the line-5 loop and the prose: "checks whether some
+// other process has already accomplished what p_i was trying to do").
+//
+// The red lines (22, 27 and the RL of 18R.2) erase the context traces that
+// helping leaves behind; ablation tests compile with clear_contexts=false
+// to show exactly which HI property breaks without them (E14 ablation (a)).
+//
+// The ⟨q, r⟩ head and op/resp announce encodings are the only per-backend
+// detail: RllscWordCodec<RllscValue> keeps the simulator's two-word payload
+// (full 64-bit abstract states), RllscWordCodec<uint64_t> is the hardware
+// packing (states ≤ 32 bits, responses ≤ 24 bits, ≤ 64 processes — the
+// DESIGN substitution documented at Atomic128).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/values.h"
+#include "spec/spec.h"
+#include "util/padded.h"
+
+namespace hi::algo {
+
+/// Decoded view of a head value ⟨q, r⟩.
+struct HeadView {
+  std::uint64_t state = 0;  // encoded abstract state q
+  bool has_response = false;
+  std::uint32_t rsp = 0;  // valid iff has_response
+  int pid = -1;           // valid iff has_response
+};
+
+/// The response half of a mode-B head: ⟨rsp, j⟩.
+struct HeadResp {
+  std::uint32_t rsp;
+  int pid;
+};
+
+/// Packing of head/announce tuples into an R-LLSC value type V.
+template <typename V>
+struct RllscWordCodec;
+
+/// Simulator packing (two-word values): lo carries tag<<32 | payload for
+/// announce cells, the full 64-bit encoded state for head; hi is ⊥ (0) or
+/// bit63 | pid<<32 | rsp.
+template <>
+struct RllscWordCodec<RllscValue> {
+  static constexpr std::uint64_t kTagOp = 1;
+  static constexpr std::uint64_t kTagResp = 2;
+
+  static RllscValue bottom() { return RllscValue{}; }
+  static RllscValue announce_op(std::uint32_t word) {
+    return RllscValue{(kTagOp << 32) | word, 0};
+  }
+  static RllscValue announce_resp(std::uint32_t word) {
+    return RllscValue{(kTagResp << 32) | word, 0};
+  }
+  static bool is_bottom(const RllscValue& v) { return v.lo == 0; }
+  static bool is_op(const RllscValue& v) { return (v.lo >> 32) == kTagOp; }
+  static bool is_resp(const RllscValue& v) { return (v.lo >> 32) == kTagResp; }
+  static std::uint32_t payload(const RllscValue& v) {
+    return static_cast<std::uint32_t>(v.lo & 0xffffffffu);
+  }
+
+  static RllscValue make_head(std::uint64_t state_encoded,
+                              std::optional<HeadResp> resp) {
+    std::uint64_t hi = 0;
+    if (resp.has_value()) {
+      hi = (std::uint64_t{1} << 63) |
+           (static_cast<std::uint64_t>(resp->pid) << 32) | resp->rsp;
+    }
+    return RllscValue{state_encoded, hi};
+  }
+  static HeadView decode_head(const RllscValue& v) {
+    HeadView view;
+    view.state = v.lo;
+    view.has_response = (v.hi >> 63) != 0;
+    if (view.has_response) {
+      view.pid = static_cast<int>((v.hi >> 32) & 0x7fffffffu);
+      view.rsp = static_cast<std::uint32_t>(v.hi & 0xffffffffu);
+    }
+    return view;
+  }
+};
+
+/// Hardware packing (single 64-bit value word).
+/// announce: tag (bits 32-33) | payload (bits 0-31); ⊥ = 0.
+/// head: state (bits 0-31) | rsp (32-55) | pid (56-61) | has (62).
+template <>
+struct RllscWordCodec<std::uint64_t> {
+  static std::uint64_t bottom() { return 0; }
+  static std::uint64_t announce_op(std::uint32_t word) {
+    return (std::uint64_t{1} << 32) | word;
+  }
+  static std::uint64_t announce_resp(std::uint32_t word) {
+    return (std::uint64_t{2} << 32) | word;
+  }
+  static bool is_bottom(std::uint64_t v) { return v == 0; }
+  static bool is_op(std::uint64_t v) { return (v >> 32) == 1; }
+  static bool is_resp(std::uint64_t v) { return (v >> 32) == 2; }
+  static std::uint32_t payload(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v & 0xffffffffu);
+  }
+
+  static std::uint64_t make_head(std::uint64_t state_encoded,
+                                 std::optional<HeadResp> resp) {
+    assert(state_encoded <= 0xffffffffull && "rt states must fit 32 bits");
+    std::uint64_t word = state_encoded;
+    if (resp.has_value()) {
+      assert(resp->rsp <= 0xffffffu && "rt responses must fit 24 bits");
+      word |= (static_cast<std::uint64_t>(resp->rsp) << 32) |
+              (static_cast<std::uint64_t>(resp->pid) << 56) |
+              (std::uint64_t{1} << 62);
+    }
+    return word;
+  }
+  static HeadView decode_head(std::uint64_t v) {
+    HeadView view;
+    view.state = v & 0xffffffffu;
+    view.has_response = (v >> 62) & 1u;
+    if (view.has_response) {
+      view.pid = static_cast<int>((v >> 56) & 0x3fu);
+      view.rsp = static_cast<std::uint32_t>((v >> 32) & 0xffffffu);
+    }
+    return view;
+  }
+};
+
+template <typename Env, spec::SequentialSpec S, typename Cell>
+class UniversalAlg {
+ public:
+  using Op = typename S::Op;
+  using Resp = typename S::Resp;
+  using V = typename Env::Value;
+  using Codec = RllscWordCodec<V>;
+  template <typename T>
+  using OpT = typename Env::template Op<T>;
+  template <typename T>
+  using SubT = typename Env::template Sub<T>;
+
+  /// `clear_contexts` disables the paper's red lines (22 and 27 and the RL
+  /// of 18R.2) when false — the HI-breaking ablation. Production use: true.
+  UniversalAlg(typename Env::Ctx ctx, const S& spec, int num_processes,
+               bool clear_contexts = true)
+      : spec_(spec),
+        n_(num_processes),
+        clear_contexts_(clear_contexts),
+        head_(ctx, "head",
+              Codec::make_head(spec.encode_state(spec.initial_state()),
+                               std::nullopt)) {
+    assert(num_processes >= 1 && num_processes <= 64);
+    for (int i = 0; i < n_; ++i) {
+      // deque: cells are constructed in place (hardware cells are padded
+      // atomics, not movable) and references stay stable.
+      announce_.emplace_back(ctx, "announce[" + std::to_string(i) + "]",
+                             Codec::bottom());
+    }
+    for (int i = 0; i < n_; ++i) priority_.emplace_back(i);
+  }
+
+  OpT<Resp> apply(int pid, Op op) {
+    if (spec_.is_read_only(op)) return apply_read_only(pid, op);
+    return apply_update(pid, op);
+  }
+
+  /// ApplyReadOnly (lines 1–3): Load head, evaluate Δ locally, return.
+  /// Touches no shared state.
+  OpT<Resp> apply_read_only(int pid, Op op) {
+    assert(pid >= 0 && pid < n_);
+    (void)pid;
+    const V raw = co_await head_.load();  // line 1
+    const HeadView view = Codec::decode_head(raw);
+    const auto [state_after, rsp] =
+        spec_.apply(spec_.decode_state(view.state), op);  // line 2
+    (void)state_after;
+    co_return rsp;  // line 3
+  }
+
+  /// Apply (lines 4–29): announce, help/apply until a response appears in
+  /// announce[pid], then clear the response from head and announce.
+  OpT<Resp> apply_update(int pid, Op op) {
+    assert(pid >= 0 && pid < n_);
+    const std::uint32_t my_op_word = spec_.encode_op(op);
+    Cell& my_cell = announce_[pid];
+
+    co_await my_cell.store(Codec::announce_op(my_op_word));  // line 4
+
+    const auto poll_helped = [this, pid] { return response_ready(pid); };
+    for (;;) {
+      const V mine = co_await my_cell.load();  // line 5
+      if (Codec::is_resp(mine)) break;
+
+      // Line 6: ⟨q,r⟩ ← LL(head) ‖ bail once announce[pid] ∈ R (6R).
+      const std::optional<V> head_raw =
+          co_await head_.ll_interleaved(pid, poll_helped);
+      if (!head_raw.has_value()) break;  // 6R.2: goto line 24
+      const HeadView head_view = Codec::decode_head(*head_raw);
+
+      if (!head_view.has_response) {  // line 7: in-between operations
+        std::uint32_t apply_word = 0;
+        int target = -1;
+        const int candidate = *priority_[pid];
+        const V help = co_await announce_[candidate].load();  // line 8
+        if (Codec::is_op(help)) {  // line 9: apply another's operation
+          apply_word = Codec::payload(help);
+          target = candidate;
+        } else {
+          const V own = co_await my_cell.load();  // line 11
+          if (!Codec::is_op(own)) continue;
+          apply_word = my_op_word;  // line 12: apply my own operation
+          target = pid;
+        }
+        const auto [next_state, rsp] = spec_.apply(
+            spec_.decode_state(head_view.state),
+            spec_.decode_op(apply_word));  // line 13
+        const bool installed = co_await head_.sc(
+            pid, Codec::make_head(spec_.encode_state(next_state),
+                                  HeadResp{spec_.encode_resp(rsp),
+                                           target}));  // line 14
+        if (installed) {
+          *priority_[pid] = (*priority_[pid] + 1) % n_;  // line 15
+        }
+      } else {  // lines 16–22: finish the half-applied operation
+        const std::uint32_t rsp_word = head_view.rsp;  // line 17
+        const int target = head_view.pid;
+
+        // Line 18: a ← LL(announce[j]) ‖ bail once announce[pid] ∈ R (18R).
+        const std::optional<V> a =
+            co_await announce_[target].ll_interleaved(pid, poll_helped);
+        if (!a.has_value()) {
+          if (clear_contexts_) {
+            co_await announce_[target].rl(pid);  // 18R.2
+          }
+          break;  // 18R.3: goto line 24
+        }
+        const bool head_valid = co_await head_.vl(pid);  // line 19
+        if (head_valid) {
+          if (Codec::is_op(*a)) {
+            co_await announce_[target].sc(
+                pid, Codec::announce_resp(rsp_word));  // line 20
+          }
+          co_await head_.sc(
+              pid, Codec::make_head(head_view.state, std::nullopt));  // l. 21
+        }
+        if (Codec::is_bottom(*a) && clear_contexts_) {
+          co_await announce_[target].rl(pid);  // line 22 (red)
+        }
+        // line 23: continue
+      }
+    }
+
+    const V resp_val = co_await my_cell.load();  // line 24
+    assert(Codec::is_resp(resp_val));
+
+    // Line 25: ⟨q,r⟩ ← LL(head) ‖ bail once head ≠ ⟨_,⟨_,pid⟩⟩ (25R).
+    const auto poll_cleared = [this, pid] { return head_clear_of(pid); };
+    const std::optional<V> head_raw =
+        co_await head_.ll_interleaved(pid, poll_cleared);
+    bool handled = false;
+    if (head_raw.has_value()) {
+      const HeadView view = Codec::decode_head(*head_raw);
+      if (view.has_response && view.pid == pid) {  // line 26
+        co_await head_.sc(pid, Codec::make_head(view.state, std::nullopt));
+        handled = true;
+      }
+    }
+    if (!handled && clear_contexts_) {
+      co_await head_.rl(pid);  // line 27 (red; also the 25R.2 path)
+    }
+
+    co_await my_cell.store(Codec::bottom());  // line 28: clear announce[pid]
+    co_return spec_.decode_resp(Codec::payload(resp_val));  // line 29
+  }
+
+  // ---- Observer-side introspection (test oracles; never takes steps) ----
+
+  /// The abstract state recorded in head (Lemma 25: equals state(h(α))).
+  std::uint64_t head_state_encoded() const {
+    return Codec::decode_head(head_.peek_value()).state;
+  }
+  bool head_has_response() const {
+    return Codec::decode_head(head_.peek_value()).has_response;
+  }
+  bool announce_is_bottom(int pid) const {
+    return Codec::is_bottom(announce_[pid].peek_value());
+  }
+  /// Union of all context bitmasks (Lemma 27: empty at state-quiescence).
+  std::uint64_t context_union() const {
+    std::uint64_t mask = head_.peek_context();
+    for (const Cell& cell : announce_) mask |= cell.peek_context();
+    return mask;
+  }
+  /// Full memory image (head word, then announce words) as CtxWords; only
+  /// meaningful at quiescence unless the caller tolerates racing reads.
+  std::vector<CtxWord<V>> memory_words() const {
+    std::vector<CtxWord<V>> image;
+    image.reserve(1 + static_cast<std::size_t>(n_));
+    image.push_back(head_.peek_word());
+    for (const Cell& cell : announce_) image.push_back(cell.peek_word());
+    return image;
+  }
+
+  bool is_lock_free() const { return head_.is_lock_free(); }
+  int num_processes() const { return n_; }
+
+ private:
+  /// 6R.1 / 18R.1: has my response been published in announce[pid]?
+  SubT<bool> response_ready(int pid) {
+    const V v = co_await announce_[pid].load();
+    co_return Codec::is_resp(v);
+  }
+
+  /// 25R.1: head no longer holds ⟨_, ⟨_, pid⟩⟩?
+  SubT<bool> head_clear_of(int pid) {
+    const V v = co_await head_.load();
+    const HeadView view = Codec::decode_head(v);
+    co_return !(view.has_response && view.pid == pid);
+  }
+
+  const S& spec_;
+  int n_;
+  bool clear_contexts_;
+  Cell head_;
+  std::deque<Cell> announce_;
+  // Per-process local variable priority_i; padded so hardware threads do not
+  // false-share (a scheduler-local no-op in the simulator).
+  std::deque<util::Padded<int>> priority_;
+};
+
+}  // namespace hi::algo

@@ -1,0 +1,35 @@
+// Value types shared by the algorithm layer and both execution environments.
+//
+// The single-source algorithms (src/algo) are templated over an execution
+// environment Env (src/env). The R-LLSC family manipulates values of type
+// Env::Value — a 128-bit two-word payload in the simulator (room for the
+// paper's unbounded abstract states) and a packed 64-bit word on hardware
+// (the DESIGN substitution: states ≤ 32 bits so one CMPXCHG16B covers value
+// plus context). CtxWord pairs a value with the R-LLSC context bitmask; it
+// is the environment-neutral view of one CAS base-object state.
+#pragma once
+
+#include <cstdint>
+
+namespace hi::algo {
+
+/// The value carried by an R-LLSC cell (context excluded): two words, enough
+/// for Algorithm 5's ⟨state, ⟨response, process⟩⟩ head tuples.
+struct RllscValue {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const RllscValue&, const RllscValue&) = default;
+};
+
+/// One CAS base-object state as the algorithms see it: an algorithm-level
+/// value plus the context bitmask (bit i set <=> process i in context).
+template <typename V>
+struct CtxWord {
+  V value{};
+  std::uint64_t ctx = 0;
+
+  friend bool operator==(const CtxWord&, const CtxWord&) = default;
+};
+
+}  // namespace hi::algo

@@ -1,22 +1,20 @@
 // Algorithms 2 + 3: lock-free state-quiescent-HI SWSR K-valued register from
 // binary registers (§4, Theorem 9).
 //
-// Write(v) additionally clears *upwards* from v+1 to K (which Algorithm 1
-// does not do), so whenever no Write is pending the array has exactly one 1 —
-// at index v — giving each abstract state the unique canonical representation
-// can(v) = e_v. The price is progress for the reader: a TryRead (Algorithm 3)
-// can chase the moving 1 forever and return ⊥, so Read retries until a
-// TryRead succeeds; the Read is lock-free but not wait-free (the adversary of
-// Theorem 17 starves it — see src/adversary/reader_adversary.h and test E7).
+// Single-source: the algorithm body lives in algo/registers.h
+// (LockFreeHiAlg); this file is the simulator instantiation behind the SWSR
+// spec/pid harness interface. The hardware instantiation is
+// rt::RtLockFreeHiRegister. See algo/registers.h for the line-by-line paper
+// commentary (upward clearing buys can(v) = e_v at state-quiescence; the
+// reader pays with lock-freedom only — the Theorem 17 adversary starves it,
+// see src/adversary/reader_adversary.h and test E7).
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <optional>
-#include <string>
-#include <vector>
 
-#include "sim/base_object.h"
+#include "algo/registers.h"
+#include "env/sim_env.h"
 #include "sim/memory.h"
 #include "sim/task.h"
 #include "spec/register_spec.h"
@@ -30,15 +28,9 @@ class LockFreeHiRegister {
 
   LockFreeHiRegister(sim::Memory& memory, const spec::RegisterSpec& spec,
                      int writer_pid, int reader_pid)
-      : num_values_(spec.num_values()),
+      : alg_(memory, spec.num_values(), spec.initial_state()),
         writer_pid_(writer_pid),
-        reader_pid_(reader_pid) {
-    slots_.reserve(num_values_);
-    for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      slots_.push_back(&memory.make<sim::BinaryRegister>(
-          "A[" + std::to_string(v) + "]", v == spec.initial_state()));
-    }
-  }
+        reader_pid_(reader_pid) {}
 
   sim::OpTask<Resp> apply(int pid, Op op) {
     if (op.kind == spec::RegisterSpec::Kind::kRead) return read(pid);
@@ -49,58 +41,23 @@ class LockFreeHiRegister {
   sim::OpTask<Resp> read(int pid) {
     assert(pid == reader_pid_);
     (void)pid;
-    for (;;) {
-      const std::optional<std::uint32_t> val = co_await try_read();
-      if (val.has_value()) co_return *val;
-    }
+    return alg_.read();
   }
 
-  /// Write(v): set A[v], clear down v-1..1, then clear up v+1..K
-  /// (Algorithm 2, lines 5–7).
+  /// Write(v): set A[v], clear down, then clear up (Algorithm 2, lines 5–7).
   sim::OpTask<Resp> write(int pid, std::uint32_t value) {
     assert(pid == writer_pid_);
     (void)pid;
-    assert(value >= 1 && value <= num_values_);
-    co_await slot(value).write(1);
-    for (std::uint32_t j = value; j-- > 1;) {
-      co_await slot(j).write(0);
-    }
-    for (std::uint32_t j = value + 1; j <= num_values_; ++j) {
-      co_await slot(j).write(0);
-    }
-    co_return 0;
+    return alg_.write(value);
   }
 
   int writer_pid() const { return writer_pid_; }
   int reader_pid() const { return reader_pid_; }
 
  private:
-  /// TryRead (Algorithm 3): one upward scan for a 1; on success, downward
-  /// confirmation scan; ⊥ (nullopt) if the whole array read as 0.
-  sim::SubTask<std::optional<std::uint32_t>> try_read() {
-    for (std::uint32_t j = 1; j <= num_values_; ++j) {
-      const std::uint8_t bit = co_await slot(j).read();
-      if (bit == 1) {
-        std::uint32_t val = j;
-        for (std::uint32_t down = j; down-- > 1;) {
-          const std::uint8_t low = co_await slot(down).read();
-          if (low == 1) val = down;
-        }
-        co_return val;
-      }
-    }
-    co_return std::nullopt;
-  }
-
-  sim::BinaryRegister& slot(std::uint32_t v) {
-    assert(v >= 1 && v <= num_values_);
-    return *slots_[v - 1];
-  }
-
-  std::uint32_t num_values_;
+  algo::LockFreeHiAlg<env::SimEnv> alg_;
   int writer_pid_;
   int reader_pid_;
-  std::vector<sim::BinaryRegister*> slots_;
 };
 
 }  // namespace hi::core

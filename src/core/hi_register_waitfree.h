@@ -1,26 +1,20 @@
 // Algorithm 4: wait-free quiescent-HI SWSR K-valued register from binary
 // registers (§4, Theorem 12).
 //
-// On top of Algorithm 2's array A, the reader announces itself via flag[1];
-// a writer that sees a concurrent reader "helps" by publishing its previous
-// value last-val in a dedicated array B, guaranteeing the reader always has
-// a value to return after two failed TryReads (Lemma 10). Both sides then
-// carefully erase their footprints (the reader clears B and the flags, the
-// writer clears its own B entry when the reader no longer needs it —
-// Lemma 35), so in a *quiescent* configuration the memory is canonical:
-// A = e_v, B = 0, flags = 0. The implementation is quiescent HI but not
-// state-quiescent HI — a pending Read can leave observable traces while no
-// Write is pending — which is exactly the separation Table 1 establishes
-// (wait-free + state-quiescent HI is impossible, Corollary 18).
+// Single-source: the algorithm body lives in algo/registers.h
+// (WaitFreeHiAlg); this file is the simulator instantiation behind the SWSR
+// spec/pid harness interface. The hardware instantiation is
+// rt::RtWaitFreeHiRegister. See algo/registers.h for the commentary (reader
+// announces via flag[1]; the writer helps through array B; both erase their
+// footprints — quiescent HI but not state-quiescent HI, the Table 1
+// separation).
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <optional>
-#include <string>
-#include <vector>
 
-#include "sim/base_object.h"
+#include "algo/registers.h"
+#include "env/sim_env.h"
 #include "sim/memory.h"
 #include "sim/task.h"
 #include "spec/register_spec.h"
@@ -34,23 +28,9 @@ class WaitFreeHiRegister {
 
   WaitFreeHiRegister(sim::Memory& memory, const spec::RegisterSpec& spec,
                      int writer_pid, int reader_pid)
-      : num_values_(spec.num_values()),
+      : alg_(memory, spec.num_values(), spec.initial_state()),
         writer_pid_(writer_pid),
-        reader_pid_(reader_pid),
-        last_val_(spec.initial_state()) {
-    a_.reserve(num_values_);
-    b_.reserve(num_values_);
-    for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      a_.push_back(&memory.make<sim::BinaryRegister>(
-          "A[" + std::to_string(v) + "]", v == spec.initial_state()));
-    }
-    for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      b_.push_back(&memory.make<sim::BinaryRegister>(
-          "B[" + std::to_string(v) + "]", false));
-    }
-    flag1_ = &memory.make<sim::BinaryRegister>("flag[1]", false);
-    flag2_ = &memory.make<sim::BinaryRegister>("flag[2]", false);
-  }
+        reader_pid_(reader_pid) {}
 
   sim::OpTask<Resp> apply(int pid, Op op) {
     if (op.kind == spec::RegisterSpec::Kind::kRead) return read(pid);
@@ -61,107 +41,23 @@ class WaitFreeHiRegister {
   sim::OpTask<Resp> read(int pid) {
     assert(pid == reader_pid_);
     (void)pid;
-    co_await flag1_->write(1);  // line 1: announce
-    std::uint32_t val = 0;      // 0 encodes ⊥
-    for (int attempt = 0; attempt < 2; ++attempt) {  // line 2
-      const std::optional<std::uint32_t> got = co_await try_read();
-      if (got.has_value()) {  // line 4: goto line 7
-        val = *got;
-        break;
-      }
-    }
-    if (val == 0) {
-      // Lines 5–6: read B; take the *last* index seen holding 1.
-      for (std::uint32_t j = 1; j <= num_values_; ++j) {
-        const std::uint8_t bit = co_await b(j).read();
-        if (bit == 1) val = j;
-      }
-      assert(val != 0 && "Lemma 10: val != ⊥ at line 7");
-    }
-    co_await flag2_->write(1);  // line 7
-    for (std::uint32_t j = 1; j <= num_values_; ++j) {  // line 8: clear B
-      co_await b(j).write(0);
-    }
-    co_await flag1_->write(0);  // line 9
-    co_await flag2_->write(0);
-    co_return val;  // line 10
+    return alg_.read();
   }
 
   /// Write(v) — Algorithm 4, lines 11–19.
   sim::OpTask<Resp> write(int pid, std::uint32_t value) {
     assert(pid == writer_pid_);
     (void)pid;
-    assert(value >= 1 && value <= num_values_);
-    // Line 11: check whether B is all-zero (scan; stop at the first 1, which
-    // already falsifies the condition).
-    bool b_all_zero = true;
-    for (std::uint32_t j = 1; j <= num_values_; ++j) {
-      const std::uint8_t bit = co_await b(j).read();
-      if (bit == 1) {
-        b_all_zero = false;
-        break;
-      }
-    }
-    if (b_all_zero) {
-      const std::uint8_t f1_seen = co_await flag1_->read();
-      if (f1_seen == 1) {  // line 12: concurrent reader?
-        co_await b(last_val_).write(1);    // line 13: help with the old value
-        // Line 14: read flag[2], then flag[1] (this order matters; Lemma 35).
-        const std::uint8_t f2 = co_await flag2_->read();
-        const std::uint8_t f1 = co_await flag1_->read();
-        if (f2 == 1 || f1 == 0) {
-          co_await b(last_val_).write(0);  // line 15: reader is done / gone
-        }
-      }
-    }
-    co_await a(value).write(1);                          // line 16
-    for (std::uint32_t j = value; j-- > 1;) {            // line 17
-      co_await a(j).write(0);
-    }
-    for (std::uint32_t j = value + 1; j <= num_values_; ++j) {  // line 18
-      co_await a(j).write(0);
-    }
-    last_val_ = value;  // line 19 (writer-local; not part of mem(C))
-    co_return 0;
+    return alg_.write(value);
   }
 
   int writer_pid() const { return writer_pid_; }
   int reader_pid() const { return reader_pid_; }
 
  private:
-  /// TryRead — Algorithm 3, shared with Algorithm 2.
-  sim::SubTask<std::optional<std::uint32_t>> try_read() {
-    for (std::uint32_t j = 1; j <= num_values_; ++j) {
-      const std::uint8_t bit = co_await a(j).read();
-      if (bit == 1) {
-        std::uint32_t val = j;
-        for (std::uint32_t down = j; down-- > 1;) {
-          const std::uint8_t low = co_await a(down).read();
-          if (low == 1) val = down;
-        }
-        co_return val;
-      }
-    }
-    co_return std::nullopt;
-  }
-
-  sim::BinaryRegister& a(std::uint32_t v) {
-    assert(v >= 1 && v <= num_values_);
-    return *a_[v - 1];
-  }
-  sim::BinaryRegister& b(std::uint32_t v) {
-    assert(v >= 1 && v <= num_values_);
-    return *b_[v - 1];
-  }
-
-  std::uint32_t num_values_;
+  algo::WaitFreeHiAlg<env::SimEnv> alg_;
   int writer_pid_;
   int reader_pid_;
-  std::uint32_t last_val_;  // the writer's persistent local variable
-  std::vector<sim::BinaryRegister*> a_;
-  std::vector<sim::BinaryRegister*> b_;
-  sim::BinaryRegister* flag1_ = nullptr;
-  sim::BinaryRegister* flag2_ = nullptr;
 };
 
 }  // namespace hi::core

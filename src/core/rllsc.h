@@ -2,15 +2,14 @@
 // (§6.3, Theorem 28), plus the "ideal" native R-LLSC cell behind the same
 // interface, so Algorithm 5 can run over either (§6.1 vs §6.4).
 //
-// The R-LLSC state (val, context) is stored in a *single* CAS word; memory
-// is therefore exactly the encoding of the abstract state — no auxiliary
-// information exists — which is why the implementation is perfect HI.
-// LL, SC and RL are CAS retry loops and hence only lock-free; VL, Load and
-// Store are single primitives. The interleaved-LL entry point realizes
-// Algorithm 5's `‖` construction: between successive CAS attempts of a
-// (possibly blocking) LL, one step of the caller-provided right-hand-side
-// poll runs, and a true poll abandons the LL (leaving at most a context
-// trace, which the caller's RL erases — line 18R.2).
+// Single-source: the CAS-backed algorithm body lives in algo/rllsc.h
+// (CasRllscAlg), templated over the execution environment and pid-explicit;
+// this file is the simulator instantiation. CasRllsc adds the pid-implicit
+// legacy entry points (the scheduler knows which process is executing, so
+// call sites do not thread pids through). The hardware instantiation is
+// rt::RtRllsc. NativeRllsc has no hardware sibling — an ideal
+// context-aware LL/SC base object only exists in the model (hardware offers
+// CAS, which is exactly what Algorithm 6 exists to bridge).
 #pragma once
 
 #include <cassert>
@@ -19,6 +18,9 @@
 #include <string>
 #include <utility>
 
+#include "algo/rllsc.h"
+#include "algo/values.h"
+#include "env/sim_env.h"
 #include "sim/base_object.h"
 #include "sim/memory.h"
 #include "sim/task.h"
@@ -26,107 +28,41 @@
 
 namespace hi::core {
 
-/// The value carried by an R-LLSC cell (context excluded): two words, enough
-/// for Algorithm 5's ⟨state, ⟨response, process⟩⟩ head tuples.
-struct RllscValue {
-  std::uint64_t lo = 0;
-  std::uint64_t hi = 0;
+using algo::RllscValue;
 
-  friend bool operator==(const RllscValue&, const RllscValue&) = default;
-};
-
-/// Algorithm 6 over one atomic CAS base object.
-class CasRllsc {
+/// Algorithm 6 over one atomic CAS base object (simulator instantiation).
+class CasRllsc : public algo::CasRllscAlg<env::SimEnv> {
  public:
+  using Base = algo::CasRllscAlg<env::SimEnv>;
+
   CasRllsc(sim::Memory& memory, std::string name, RllscValue initial)
-      : cell_(&memory.make<sim::WideCasCell>(
-            std::move(name), sim::WideWord{initial.lo, initial.hi, 0})) {}
+      : Base(memory, std::move(name), initial) {}
 
-  /// LL(O) — lines 1–6: CAS-install the caller's context bit, retrying on
-  /// interference. Lock-free; may run forever under contention.
-  sim::SubTask<RllscValue> ll() {
-    sim::WideWord cur = co_await cell_->read();
-    for (;;) {
-      sim::WideWord linked = cur;
-      linked.ctx = util::set_bit(linked.ctx, my_bit());
-      const bool installed = co_await cell_->cas(cur, linked);
-      if (installed) co_return RllscValue{cur.lo, cur.hi};
-      cur = co_await cell_->read();
-    }
-  }
+  // pid-explicit interface (used by the universal construction) inherited:
+  using Base::ll;
+  using Base::ll_interleaved;
+  using Base::rl;
+  using Base::sc;
+  using Base::vl;
 
-  /// LL with Algorithm 5's `‖` right-hand side: after every failed CAS
-  /// attempt run one poll; a true poll abandons the LL and yields nullopt.
+  // pid-implicit legacy entry points: the executing process's identity is
+  // read from the scheduler at invocation (the call happens inside the
+  // process's own coroutine, so current_process() is exact).
+  auto ll() { return Base::ll(self()); }
   template <typename Poll>
-  sim::SubTask<std::optional<RllscValue>> ll_interleaved(Poll poll) {
-    sim::WideWord cur = co_await cell_->read();
-    for (;;) {
-      sim::WideWord linked = cur;
-      linked.ctx = util::set_bit(linked.ctx, my_bit());
-      const bool installed = co_await cell_->cas(cur, linked);
-      if (installed) co_return RllscValue{cur.lo, cur.hi};
-      const bool bail = co_await poll();
-      if (bail) co_return std::nullopt;
-      cur = co_await cell_->read();
-    }
+  auto ll_interleaved(Poll poll) {
+    return Base::ll_interleaved(self(), std::move(poll));
   }
-
-  /// VL(O) — lines 12–13.
-  sim::SubTask<bool> vl() {
-    const sim::WideWord cur = co_await cell_->read();
-    co_return util::test_bit(cur.ctx, my_bit());
-  }
-
-  /// SC(O, new) — lines 7–11: succeeds iff the caller is still linked.
-  sim::SubTask<bool> sc(RllscValue desired) {
-    sim::WideWord cur = co_await cell_->read();
-    while (util::test_bit(cur.ctx, my_bit())) {
-      const bool swapped =
-          co_await cell_->cas(cur, sim::WideWord{desired.lo, desired.hi, 0});
-      if (swapped) co_return true;
-      cur = co_await cell_->read();
-    }
-    co_return false;
-  }
-
-  /// RL(O) — lines 14–20: removes the caller from the context; always true.
-  sim::SubTask<bool> rl() {
-    sim::WideWord cur = co_await cell_->read();
-    while (util::test_bit(cur.ctx, my_bit())) {
-      sim::WideWord released = cur;
-      released.ctx = util::clear_bit(released.ctx, my_bit());
-      const bool swapped = co_await cell_->cas(cur, released);
-      if (swapped) co_return true;
-      cur = co_await cell_->read();
-    }
-    co_return true;
-  }
-
-  /// Load(O) — lines 21–22.
-  sim::SubTask<RllscValue> load() {
-    const sim::WideWord cur = co_await cell_->read();
-    co_return RllscValue{cur.lo, cur.hi};
-  }
-
-  /// Store(O, new) — lines 23–24: unconditional, resets the context.
-  sim::SubTask<bool> store(RllscValue desired) {
-    co_await cell_->write(sim::WideWord{desired.lo, desired.hi, 0});
-    co_return true;
-  }
-
-  // Observer-side introspection (not steps): abstract state of the R-LLSC
-  // object, which for this implementation is literally the memory word.
-  RllscValue peek_value() const {
-    return RllscValue{cell_->peek().lo, cell_->peek().hi};
-  }
-  std::uint64_t peek_context() const { return cell_->peek().ctx; }
+  auto vl() { return Base::vl(self()); }
+  auto sc(RllscValue desired) { return Base::sc(self(), desired); }
+  auto rl() { return Base::rl(self()); }
 
  private:
-  static unsigned my_bit() {
-    return static_cast<unsigned>(sim::detail::current_process()->pid);
+  static int self() {
+    sim::ProcessState* ps = sim::detail::current_process();
+    assert(ps != nullptr && "R-LLSC used outside a scheduled process");
+    return ps->pid;
   }
-
-  sim::WideCasCell* cell_;
 };
 
 /// The same interface over a native (single-primitive) R-LLSC base object.
@@ -136,30 +72,41 @@ class NativeRllsc {
       : cell_(&memory.make<sim::WideRllscCell>(
             std::move(name), sim::WideWord{initial.lo, initial.hi, 0})) {}
 
-  sim::SubTask<RllscValue> ll() {
+  sim::SubTask<RllscValue> ll(int pid = -1) {
+    assert_self(pid);
     const sim::WideWord cur = co_await cell_->ll();
     co_return RllscValue{cur.lo, cur.hi};
   }
 
   /// Native LL is wait-free, so interleaving is unnecessary for progress;
   /// one poll runs first so a ready response is still honored promptly.
+  /// `poll` is a nullary callable returning an awaitable of bool.
   template <typename Poll>
-  sim::SubTask<std::optional<RllscValue>> ll_interleaved(Poll poll) {
+  sim::SubTask<std::optional<RllscValue>> ll_interleaved(int pid, Poll poll) {
+    assert_self(pid);
     const bool bail = co_await poll();
     if (bail) co_return std::nullopt;
     const sim::WideWord cur = co_await cell_->ll();
     co_return RllscValue{cur.lo, cur.hi};
   }
+  template <typename Poll>
+  auto ll_interleaved(Poll poll) {
+    return ll_interleaved(-1, std::move(poll));
+  }
 
-  sim::SubTask<bool> vl() {
+  sim::SubTask<bool> vl(int pid = -1) {
+    assert_self(pid);
     const bool valid = co_await cell_->vl();
     co_return valid;
   }
-  sim::SubTask<bool> sc(RllscValue desired) {
+  sim::SubTask<bool> sc(int pid, RllscValue desired) {
+    assert_self(pid);
     const bool swapped = co_await cell_->sc(desired.lo, desired.hi);
     co_return swapped;
   }
-  sim::SubTask<bool> rl() {
+  sim::SubTask<bool> sc(RllscValue desired) { return sc(-1, desired); }
+  sim::SubTask<bool> rl(int pid = -1) {
+    assert_self(pid);
     co_await cell_->rl();
     co_return true;
   }
@@ -176,8 +123,20 @@ class NativeRllsc {
     return RllscValue{cell_->peek().lo, cell_->peek().hi};
   }
   std::uint64_t peek_context() const { return cell_->peek().ctx; }
+  algo::CtxWord<RllscValue> peek_word() const {
+    const sim::WideWord w = cell_->peek();
+    return {{w.lo, w.hi}, w.ctx};
+  }
+  bool is_lock_free() const { return true; }
 
  private:
+  /// The native cell resolves the caller from the scheduler inside each
+  /// primitive; an explicit pid (from the universal construction) must agree.
+  static void assert_self(int pid) {
+    assert(pid == -1 || pid == sim::detail::current_process()->pid);
+    (void)pid;
+  }
+
   sim::WideRllscCell* cell_;
 };
 

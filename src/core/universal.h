@@ -1,280 +1,31 @@
 // Algorithm 5: wait-free state-quiescent-HI universal implementation from
-// releasable LL/SC (§6.1), generic over the sequential specification S and
-// over the R-LLSC cell implementation:
+// releasable LL/SC (§6.1) — simulator instantiation.
+//
+// Single-source: the algorithm body lives in algo/universal.h
+// (UniversalAlg), templated over the execution environment, the sequential
+// specification S and the R-LLSC cell implementation. This file pins the
+// environment to SimEnv, preserving the seed interface:
 //
 //   Universal<S, NativeRllsc>  — Algorithm 5 over ideal atomic R-LLSC cells
 //   Universal<S, CasRllsc>     — the full Theorem 32 composition over CAS
 //
-// Layout. head holds ⟨q, r⟩ where q is the abstract state and r is either ⊥
-// (in-between operations — "mode A") or ⟨rsp, j⟩, the response of the most
-// recently applied operation and its invoking process ("mode B").
-// announce[1..n] holds each process's pending operation descriptor, later
-// overwritten by its response, and cleared to ⊥ before the operation
-// returns — so at any state-quiescent configuration the announce array is
-// all-⊥, head is ⟨q, ⊥⟩, and every context is empty (Lemmas 26, 27): memory
-// is a function of the abstract state alone.
-//
-// The paper's `‖` notation (lines 6, 18, 25 interleaved with the blue
-// right-hand sides) is realized by ll_interleaved: one right-hand-side poll
-// step runs between successive low-level steps of a possibly-blocking LL,
-// and a successful poll abandons the LL (6R.2 / 18R.1-3 / 25R.1-2). The
-// paper's 6R.1/18R.1 "wait until Load(announce[i]) ∉ R" is read as
-// "... ∈ R" — the bail must fire when the response has *arrived* (matching
-// the exit condition of the line-5 loop and the prose: "checks whether some
-// other process has already accomplished what p_i was trying to do").
-//
-// The red lines (22, 27 and the RL of 18R.2) erase the context traces that
-// helping leaves behind; ablation tests compile with clear_contexts=false
-// to show exactly which HI property breaks without them (E14 ablation (a)).
+// The hardware instantiation is rt::RtUniversal. See algo/universal.h for
+// the line-by-line paper commentary (head/announce layout, the `‖`
+// right-hand sides, the red context-erasing lines and their ablation).
 #pragma once
 
-#include <cassert>
-#include <cstdint>
-#include <optional>
-#include <string>
-#include <utility>
-#include <vector>
-
+#include "algo/universal.h"
 #include "core/rllsc.h"
+#include "env/sim_env.h"
 #include "sim/memory.h"
 #include "sim/task.h"
 #include "spec/spec.h"
-#include "util/bits.h"
 
 namespace hi::core {
 
-/// Decoded view of a head value ⟨q, r⟩.
-struct HeadView {
-  std::uint64_t state = 0;  // encoded abstract state q
-  bool has_response = false;
-  std::uint32_t rsp = 0;  // valid iff has_response
-  int pid = -1;           // valid iff has_response
-};
+using algo::HeadView;
 
-template <spec::SequentialSpec S, typename Cell>
-class Universal {
- public:
-  using Op = typename S::Op;
-  using Resp = typename S::Resp;
-
-  /// `clear_contexts` disables the paper's red lines (22 and 27 and the RL
-  /// of 18R.2) when false — the HI-breaking ablation. Production use: true.
-  Universal(sim::Memory& memory, const S& spec, int num_processes,
-            bool clear_contexts = true)
-      : spec_(spec),
-        n_(num_processes),
-        clear_contexts_(clear_contexts),
-        head_(memory, "head",
-              make_head(spec.encode_state(spec.initial_state()),
-                        std::nullopt)) {
-    assert(num_processes >= 1 && num_processes <= 64);
-    announce_.reserve(n_);
-    for (int i = 0; i < n_; ++i) {
-      announce_.emplace_back(memory, "announce[" + std::to_string(i) + "]",
-                             kBottom);
-    }
-    priority_.resize(n_);
-    for (int i = 0; i < n_; ++i) priority_[i] = i;
-  }
-
-  sim::OpTask<Resp> apply(int pid, Op op) {
-    if (spec_.is_read_only(op)) return apply_read_only(pid, op);
-    return apply_update(pid, op);
-  }
-
-  /// ApplyReadOnly (lines 1–3): Load head, evaluate Δ locally, return.
-  /// Touches no shared state.
-  sim::OpTask<Resp> apply_read_only(int pid, Op op) {
-    assert(pid >= 0 && pid < n_);
-    (void)pid;
-    const RllscValue raw = co_await head_.load();  // line 1
-    const HeadView view = decode_head(raw);
-    const auto [state_after, rsp] =
-        spec_.apply(spec_.decode_state(view.state), op);  // line 2
-    (void)state_after;
-    co_return rsp;  // line 3
-  }
-
-  /// Apply (lines 4–29): announce, help/apply until a response appears in
-  /// announce[pid], then clear the response from head and announce.
-  sim::OpTask<Resp> apply_update(int pid, Op op) {
-    assert(pid >= 0 && pid < n_);
-    const std::uint32_t my_op_word = spec_.encode_op(op);
-    Cell& my_cell = announce_[pid];
-
-    co_await my_cell.store(announce_op(my_op_word));  // line 4
-
-    const auto poll_helped = [this, pid] { return response_ready(pid); };
-    for (;;) {
-      const RllscValue mine = co_await my_cell.load();  // line 5
-      if (is_resp(mine)) break;
-
-      // Line 6: ⟨q,r⟩ ← LL(head) ‖ bail once announce[pid] ∈ R (6R).
-      const std::optional<RllscValue> head_raw =
-          co_await head_.ll_interleaved(poll_helped);
-      if (!head_raw.has_value()) break;  // 6R.2: goto line 24
-      const HeadView head_view = decode_head(*head_raw);
-
-      if (!head_view.has_response) {  // line 7: in-between operations
-        std::uint32_t apply_word = 0;
-        int target = -1;
-        const int candidate = priority_[pid];
-        const RllscValue help = co_await announce_[candidate].load();  // l. 8
-        if (is_op(help)) {  // line 9: apply another process's operation
-          apply_word = payload(help);
-          target = candidate;
-        } else {
-          const RllscValue own = co_await my_cell.load();  // line 11
-          if (!is_op(own)) continue;
-          apply_word = my_op_word;  // line 12: apply my own operation
-          target = pid;
-        }
-        const auto [next_state, rsp] = spec_.apply(
-            spec_.decode_state(head_view.state),
-            spec_.decode_op(apply_word));  // line 13
-        const bool installed = co_await head_.sc(
-            make_head(spec_.encode_state(next_state),
-                      HeadResp{spec_.encode_resp(rsp), target}));  // line 14
-        if (installed) {
-          priority_[pid] = (priority_[pid] + 1) % n_;  // line 15
-        }
-      } else {  // lines 16–22: finish the half-applied operation
-        const std::uint32_t rsp_word = head_view.rsp;  // line 17
-        const int target = head_view.pid;
-
-        // Line 18: a ← LL(announce[j]) ‖ bail once announce[pid] ∈ R (18R).
-        const std::optional<RllscValue> a =
-            co_await announce_[target].ll_interleaved(poll_helped);
-        if (!a.has_value()) {
-          if (clear_contexts_) {
-            co_await announce_[target].rl();  // 18R.2
-          }
-          break;  // 18R.3: goto line 24
-        }
-        const bool head_valid = co_await head_.vl();  // line 19
-        if (head_valid) {
-          if (is_op(*a)) {
-            co_await announce_[target].sc(
-                announce_resp(rsp_word));  // line 20: publish the response
-          }
-          co_await head_.sc(
-              make_head(head_view.state, std::nullopt));  // line 21
-        }
-        if (is_bottom(*a) && clear_contexts_) {
-          co_await announce_[target].rl();  // line 22 (red)
-        }
-        // line 23: continue
-      }
-    }
-
-    const RllscValue resp_val = co_await my_cell.load();  // line 24
-    assert(is_resp(resp_val));
-
-    // Line 25: ⟨q,r⟩ ← LL(head) ‖ bail once head ≠ ⟨_,⟨_,pid⟩⟩ (25R).
-    const auto poll_cleared = [this, pid] { return head_clear_of(pid); };
-    const std::optional<RllscValue> head_raw =
-        co_await head_.ll_interleaved(poll_cleared);
-    bool handled = false;
-    if (head_raw.has_value()) {
-      const HeadView view = decode_head(*head_raw);
-      if (view.has_response && view.pid == pid) {  // line 26
-        co_await head_.sc(make_head(view.state, std::nullopt));
-        handled = true;
-      }
-    }
-    if (!handled && clear_contexts_) {
-      co_await head_.rl();  // line 27 (red; also the 25R.2 path)
-    }
-
-    co_await my_cell.store(kBottom);  // line 28: clear announce[pid]
-    co_return spec_.decode_resp(payload(resp_val));  // line 29
-  }
-
-  // ---- Observer-side introspection (test oracles; never takes steps) ----
-
-  /// The abstract state recorded in head (Lemma 25: equals state(h(α))).
-  std::uint64_t head_state_encoded() const {
-    return decode_head(head_.peek_value()).state;
-  }
-  bool head_has_response() const {
-    return decode_head(head_.peek_value()).has_response;
-  }
-  bool announce_is_bottom(int pid) const {
-    return is_bottom(announce_[pid].peek_value());
-  }
-  /// Union of all context bitmasks (Lemma 27: empty at state-quiescence).
-  std::uint64_t context_union() const {
-    std::uint64_t mask = head_.peek_context();
-    for (const Cell& cell : announce_) mask |= cell.peek_context();
-    return mask;
-  }
-
-  int num_processes() const { return n_; }
-
- private:
-  // announce encodings: lo carries tag<<32 | payload; ⊥ is all-zero.
-  static constexpr std::uint64_t kTagOp = 1;
-  static constexpr std::uint64_t kTagResp = 2;
-  static constexpr RllscValue kBottom{};
-
-  static RllscValue announce_op(std::uint32_t word) {
-    return RllscValue{(kTagOp << 32) | word, 0};
-  }
-  static RllscValue announce_resp(std::uint32_t word) {
-    return RllscValue{(kTagResp << 32) | word, 0};
-  }
-  static bool is_bottom(const RllscValue& v) { return v.lo == 0; }
-  static bool is_op(const RllscValue& v) { return (v.lo >> 32) == kTagOp; }
-  static bool is_resp(const RllscValue& v) { return (v.lo >> 32) == kTagResp; }
-  static std::uint32_t payload(const RllscValue& v) {
-    return static_cast<std::uint32_t>(v.lo & 0xffffffffu);
-  }
-
-  // head encodings: lo = encoded abstract state; hi = ⊥ (0) or
-  // bit63 | pid<<32 | rsp.
-  struct HeadResp {
-    std::uint32_t rsp;
-    int pid;
-  };
-  static RllscValue make_head(std::uint64_t state_encoded,
-                              std::optional<HeadResp> resp) {
-    std::uint64_t hi = 0;
-    if (resp.has_value()) {
-      hi = (std::uint64_t{1} << 63) |
-           (static_cast<std::uint64_t>(resp->pid) << 32) | resp->rsp;
-    }
-    return RllscValue{state_encoded, hi};
-  }
-  static HeadView decode_head(const RllscValue& v) {
-    HeadView view;
-    view.state = v.lo;
-    view.has_response = (v.hi >> 63) != 0;
-    if (view.has_response) {
-      view.pid = static_cast<int>((v.hi >> 32) & 0x7fffffffu);
-      view.rsp = static_cast<std::uint32_t>(v.hi & 0xffffffffu);
-    }
-    return view;
-  }
-
-  /// 6R.1 / 18R.1: has my response been published in announce[pid]?
-  sim::SubTask<bool> response_ready(int pid) {
-    const RllscValue v = co_await announce_[pid].load();
-    co_return is_resp(v);
-  }
-
-  /// 25R.1: head no longer holds ⟨_, ⟨_, pid⟩⟩?
-  sim::SubTask<bool> head_clear_of(int pid) {
-    const RllscValue v = co_await head_.load();
-    const HeadView view = decode_head(v);
-    co_return !(view.has_response && view.pid == pid);
-  }
-
-  const S& spec_;
-  int n_;
-  bool clear_contexts_;
-  Cell head_;
-  std::vector<Cell> announce_;
-  std::vector<int> priority_;  // per-process local variable priority_i
-};
+template <spec::SequentialSpec S, typename Cell = CasRllsc>
+using Universal = algo::UniversalAlg<env::SimEnv, S, Cell>;
 
 }  // namespace hi::core

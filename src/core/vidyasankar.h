@@ -1,21 +1,21 @@
 // Algorithm 1: Vidyasankar's wait-free SWSR K-valued register from binary
 // registers [46], reproduced as the paper's motivating *non*-HI example (§4).
 //
-// The register's value is represented by a binary array A[1..K]; the value is
-// intuitively the smallest index holding 1. A Write(v) sets A[v] and clears
-// only *downwards*, so the array retains 1s above the current value — the
-// memory leaks previously-written larger values even in sequential
-// executions: Write(2);Write(1) leaves [1,1,0] while Write(1) alone leaves
-// [1,0,0], both with abstract state 1. Test E3 checks this leak explicitly,
-// and the HI checker rejects this implementation under every HI notion.
+// Single-source: the algorithm body lives in algo/registers.h
+// (VidyasankarAlg), templated over the execution environment; this file is
+// the simulator instantiation, keeping the SWSR spec/pid harness interface
+// the sim tests and adversaries drive. The hardware instantiation is
+// rt::RtVidyasankarRegister. The memory leak that the HI checker rejects
+// (Write(2);Write(1) leaves [1,1,0] where Write(1) leaves [1,0,0]) is a
+// property of the single definition and now shows up identically in both
+// environments.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <string>
-#include <vector>
 
-#include "sim/base_object.h"
+#include "algo/registers.h"
+#include "env/sim_env.h"
 #include "sim/memory.h"
 #include "sim/task.h"
 #include "spec/register_spec.h"
@@ -29,68 +29,34 @@ class VidyasankarRegister {
 
   VidyasankarRegister(sim::Memory& memory, const spec::RegisterSpec& spec,
                       int writer_pid, int reader_pid)
-      : num_values_(spec.num_values()),
+      : alg_(memory, spec.num_values(), spec.initial_state()),
         writer_pid_(writer_pid),
-        reader_pid_(reader_pid) {
-    slots_.reserve(num_values_);
-    for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      slots_.push_back(&memory.make<sim::BinaryRegister>(
-          "A[" + std::to_string(v) + "]", v == spec.initial_state()));
-    }
-  }
+        reader_pid_(reader_pid) {}
 
   sim::OpTask<Resp> apply(int pid, Op op) {
     if (op.kind == spec::RegisterSpec::Kind::kRead) return read(pid);
     return write(pid, op.value);
   }
 
-  /// Read(): scan up to the first 1, then scan down taking any smaller 1.
   sim::OpTask<Resp> read(int pid) {
     assert(pid == reader_pid_);
     (void)pid;
-    // NOTE: throughout the simulator algorithms, every co_await lands in a
-    // named local before being branched on (GCC 12 miscompiles awaits that
-    // appear directly inside if/while conditions).
-    std::uint32_t j = 1;
-    for (;;) {
-      const std::uint8_t bit = co_await slot(j).read();
-      if (bit == 1) break;
-      ++j;
-      assert(j <= num_values_ && "A contains no 1 — impossible in Alg 1");
-    }
-    std::uint32_t val = j;
-    for (std::uint32_t down = j; down-- > 1;) {
-      const std::uint8_t bit = co_await slot(down).read();
-      if (bit == 1) val = down;
-    }
-    co_return val;
+    return alg_.read();
   }
 
-  /// Write(v): set A[v], then clear downwards from v-1 to 1.
   sim::OpTask<Resp> write(int pid, std::uint32_t value) {
     assert(pid == writer_pid_);
     (void)pid;
-    assert(value >= 1 && value <= num_values_);
-    co_await slot(value).write(1);
-    for (std::uint32_t j = value; j-- > 1;) {
-      co_await slot(j).write(0);
-    }
-    co_return 0;
+    return alg_.write(value);
   }
 
   int writer_pid() const { return writer_pid_; }
   int reader_pid() const { return reader_pid_; }
 
  private:
-  sim::BinaryRegister& slot(std::uint32_t v) {
-    assert(v >= 1 && v <= num_values_);
-    return *slots_[v - 1];
-  }
-
-  std::uint32_t num_values_;
+  algo::VidyasankarAlg<env::SimEnv> alg_;
   int writer_pid_;
   int reader_pid_;
-  std::vector<sim::BinaryRegister*> slots_;
 };
 
 }  // namespace hi::core

@@ -1,0 +1,102 @@
+// The execution-environment abstraction.
+//
+// Every algorithm in src/algo is written ONCE as a coroutine templated over
+// an environment policy `Env` that supplies:
+//
+//   Ctx                       — construction context, passed to algorithm
+//                               constructors (the simulator's Memory&; an
+//                               empty tag on hardware);
+//   Op<T> / Sub<T>            — the coroutine types for a high-level
+//                               operation and for an internal helper. In the
+//                               simulator these are sim::OpTask/sim::SubTask
+//                               (every primitive suspends; one scheduler
+//                               resume == one step of the paper's §2 model).
+//                               On hardware they are EagerTask: no awaitable
+//                               ever suspends, so the coroutine runs to
+//                               completion synchronously inside the call;
+//   BinArray + read_bit/write_bit/peek_bit
+//                             — an array of binary (Boolean) registers, the
+//                               small base objects of the §4 algorithms;
+//   Value, CasCell + cas_read/cas/cas_write/peek_cas
+//                             — one CAS base object over CtxWord<Value>, the
+//                               base object of Algorithm 6 (§6.3).
+//
+// read_bit/write_bit/cas_read/cas/cas_write return AWAITABLES: in the
+// simulator each is a sim::Primitive that suspends until the scheduler
+// grants the process its step; on hardware each is a Ready awaiter that
+// executes the std::atomic operation immediately in await_resume. The
+// peek_* functions are observer-side (never a step of the model) and are
+// what memory_image()/parity checks are built from.
+//
+// The payoff: one algorithm definition gets exhaustive interleaving checks
+// and HI model checking from the SimEnv instantiation, and real-thread
+// stress tests plus hardware benchmarks from the RtEnv instantiation.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <utility>
+
+namespace hi::env {
+
+namespace detail {
+
+/// Awaiter adapter: forwards readiness/suspension to an inner awaitable and
+/// applies `fn` to its result. Zero-allocation; used by environments to
+/// convert a backend word type to the algorithm-level CtxWord without an
+/// intermediate coroutine frame.
+template <typename Awaitable, typename Fn>
+struct [[nodiscard]] MapAwait {
+  Awaitable inner;
+  Fn fn;
+
+  bool await_ready() noexcept(noexcept(inner.await_ready())) {
+    return inner.await_ready();
+  }
+  auto await_suspend(std::coroutine_handle<> handle) {
+    return inner.await_suspend(handle);
+  }
+  auto await_resume() { return fn(inner.await_resume()); }
+};
+
+template <typename Awaitable, typename Fn>
+MapAwait(Awaitable, Fn) -> MapAwait<Awaitable, Fn>;
+
+/// Always-ready awaiter: runs `fn` at await_resume, i.e. synchronously at
+/// the co_await site. The hardware environment's primitive shape.
+template <typename Fn>
+struct [[nodiscard]] Ready {
+  Fn fn;
+
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  auto await_resume() { return fn(); }
+};
+
+template <typename Fn>
+Ready(Fn) -> Ready<Fn>;
+
+/// An already-computed value as an awaitable; lets bool-returning legacy
+/// polls satisfy the awaitable-poll interface of ll_interleaved.
+template <typename T>
+auto ready(T value) {
+  return Ready{[value]() mutable { return std::move(value); }};
+}
+
+}  // namespace detail
+
+/// Structural requirements every execution environment satisfies. Kept
+/// intentionally shallow (the awaitable-returning statics cannot be
+/// expressed without picking a coroutine context); the real contract is
+/// documented above and enforced by the algo-layer instantiations.
+template <typename E>
+concept ExecutionEnv = requires {
+  typename E::Ctx;
+  typename E::BinArray;
+  typename E::Value;
+  typename E::CasCell;
+  typename E::template Op<int>;
+  typename E::template Sub<int>;
+};
+
+}  // namespace hi::env

@@ -1,0 +1,181 @@
+// RtEnv: the real-hardware backend of the Env abstraction (see env.h).
+//
+// Primitives map onto std::atomic operations with the same memory orders the
+// hand-written src/rt implementations used (seq_cst after construction —
+// the §4/§6 proofs assume atomic base objects with a total order on
+// operations), binary cells keep their per-cache-line padding, and the CAS
+// base object is the 16-byte Atomic128 word (CMPXCHG16B via -mcx16).
+//
+// Every awaitable is Ready (never suspends), so an algorithm coroutine
+// instantiated with RtEnv runs to completion synchronously inside the call —
+// EagerTask is just the vehicle that lets the same coroutine body serve both
+// environments. The cost on hardware is one coroutine-frame allocation per
+// operation/helper call (GCC rarely elides frames); the benchmarks absorb
+// this and it is documented in README.md.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/values.h"
+#include "env/env.h"
+#include "rt/atomic128.h"
+#include "util/padded.h"
+
+namespace hi::env {
+
+/// Coroutine type for RtEnv operations and helpers. Eagerly started; since
+/// no RtEnv awaitable ever suspends, the body has run to completion by the
+/// time the caller holds the task. `get()` extracts the result
+/// synchronously; the awaiter interface lets EagerTasks nest inside other
+/// EagerTasks exactly where sim::SubTasks nest inside sim::OpTasks.
+template <typename T>
+class [[nodiscard]] EagerTask {
+ public:
+  struct promise_type {
+    std::optional<T> result;
+    std::exception_ptr error;
+
+    EagerTask get_return_object() {
+      return EagerTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_value(T value) { result = std::move(value); }
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  explicit EagerTask(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  EagerTask(EagerTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  EagerTask& operator=(EagerTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  EagerTask(const EagerTask&) = delete;
+  EagerTask& operator=(const EagerTask&) = delete;
+  ~EagerTask() { destroy(); }
+
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  T await_resume() { return take(); }
+
+  /// Synchronous extraction for the thin rt wrappers.
+  T get() { return take(); }
+
+ private:
+  T take() {
+    assert(handle_ && handle_.done() && "RtEnv coroutines complete eagerly");
+    if (handle_.promise().error) {
+      std::rethrow_exception(handle_.promise().error);
+    }
+    assert(handle_.promise().result.has_value());
+    return std::move(*handle_.promise().result);
+  }
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+struct RtEnv {
+  struct Ctx {};  // hardware objects own their storage; nothing to register
+
+  template <typename T>
+  using Op = EagerTask<T>;
+  template <typename T>
+  using Sub = EagerTask<T>;
+
+  // ---- binary registers ----
+
+  using BinArray = std::vector<util::Padded<std::atomic<std::uint8_t>>>;
+
+  static BinArray make_bin_array(Ctx, const char* /*prefix*/,
+                                 std::uint32_t count, std::uint32_t one_index) {
+    BinArray array(count);
+    for (auto& cell : array) cell->store(0, std::memory_order_relaxed);
+    if (one_index != 0) {
+      array[one_index - 1]->store(1, std::memory_order_seq_cst);
+    }
+    return array;
+  }
+
+  static auto read_bit(BinArray& array, std::uint32_t index) {
+    return detail::Ready{[cell = &*array[index - 1]] {
+      return cell->load(std::memory_order_seq_cst);
+    }};
+  }
+  static auto write_bit(BinArray& array, std::uint32_t index,
+                        std::uint8_t value) {
+    return detail::Ready{[cell = &*array[index - 1], value] {
+      cell->store(value, std::memory_order_seq_cst);
+      return true;
+    }};
+  }
+  static std::uint8_t peek_bit(const BinArray& array, std::uint32_t index) {
+    return array[index - 1]->load(std::memory_order_seq_cst);
+  }
+
+  // ---- one CAS base object: 16-byte atomic word, cache-line padded ----
+
+  using Value = std::uint64_t;
+  using Word = algo::CtxWord<Value>;
+
+  struct alignas(util::kCacheLine) CasCell {
+    rt::Atomic128 word;
+
+    CasCell() = default;
+    explicit CasCell(rt::Word128 initial) : word(initial) {}
+  };
+
+  static CasCell make_cas(Ctx, const std::string& /*name*/, Value initial) {
+    return CasCell{rt::Word128{initial, 0}};
+  }
+
+  static auto cas_read(CasCell& cell) {
+    return detail::Ready{[&cell] {
+      const rt::Word128 w = cell.word.load();
+      return Word{w.value, w.ctx};
+    }};
+  }
+  static auto cas(CasCell& cell, const Word& expected, const Word& desired) {
+    return detail::Ready{[&cell, expected, desired] {
+      rt::Word128 want{expected.value, expected.ctx};
+      return cell.word.compare_exchange(want,
+                                        rt::Word128{desired.value, desired.ctx});
+    }};
+  }
+  static auto cas_write(CasCell& cell, const Word& desired) {
+    return detail::Ready{[&cell, desired] {
+      cell.word.store(rt::Word128{desired.value, desired.ctx});
+      return true;
+    }};
+  }
+  static Word peek_cas(const CasCell& cell) {
+    const rt::Word128 w = cell.word.load();
+    return Word{w.value, w.ctx};
+  }
+  static bool cas_is_lock_free(const CasCell& cell) {
+    return cell.word.is_lock_free();
+  }
+};
+
+static_assert(ExecutionEnv<RtEnv>);
+
+}  // namespace hi::env

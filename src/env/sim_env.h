@@ -1,0 +1,100 @@
+// SimEnv: the simulated asynchronous shared-memory backend of the Env
+// abstraction (see env.h).
+//
+// Wraps the existing sim::Primitive awaiters and BaseObject state encoding:
+// every read_bit/write_bit/cas_read/cas/cas_write returns the base object's
+// own Primitive awaiter, so one scheduler resume still executes exactly one
+// primitive (§2's step granularity) and mem(C) snapshots, object ids and
+// primitive kinds are byte-identical to the pre-Env implementations — the
+// HI checker, the adversaries and the exhaustive explorer all keep working
+// unchanged over the single-source algorithms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/values.h"
+#include "env/env.h"
+#include "sim/base_object.h"
+#include "sim/memory.h"
+#include "sim/task.h"
+
+namespace hi::env {
+
+struct SimEnv {
+  using Ctx = sim::Memory&;
+
+  template <typename T>
+  using Op = sim::OpTask<T>;
+  template <typename T>
+  using Sub = sim::SubTask<T>;
+
+  // ---- binary registers (the §4 base objects) ----
+
+  using BinArray = std::vector<sim::BinaryRegister*>;
+
+  /// Registers `count` binary registers named "<prefix>[1..count]" in the
+  /// Memory (which owns them); slot `one_index` (1-based; 0 = none) starts
+  /// at 1. Registration order == mem(C) layout order, as before.
+  static BinArray make_bin_array(Ctx memory, const char* prefix,
+                                 std::uint32_t count, std::uint32_t one_index) {
+    BinArray array;
+    array.reserve(count);
+    for (std::uint32_t v = 1; v <= count; ++v) {
+      array.push_back(&memory.make<sim::BinaryRegister>(
+          std::string(prefix) + "[" + std::to_string(v) + "]",
+          v == one_index));
+    }
+    return array;
+  }
+
+  static auto read_bit(BinArray& array, std::uint32_t index) {
+    return array[index - 1]->read();
+  }
+  static auto write_bit(BinArray& array, std::uint32_t index,
+                        std::uint8_t value) {
+    return array[index - 1]->write(value);
+  }
+  static std::uint8_t peek_bit(const BinArray& array, std::uint32_t index) {
+    return array[index - 1]->peek();
+  }
+
+  // ---- one CAS base object over CtxWord<Value> (Algorithm 6's base) ----
+
+  using Value = algo::RllscValue;
+  using Word = algo::CtxWord<Value>;
+  using CasCell = sim::WideCasCell*;
+
+  static CasCell make_cas(Ctx memory, std::string name, Value initial) {
+    return &memory.make<sim::WideCasCell>(
+        std::move(name), sim::WideWord{initial.lo, initial.hi, 0});
+  }
+
+  static auto cas_read(CasCell& cell) {
+    return detail::MapAwait{cell->read(), [](sim::WideWord w) {
+                              return Word{{w.lo, w.hi}, w.ctx};
+                            }};
+  }
+  static auto cas(CasCell& cell, const Word& expected, const Word& desired) {
+    return cell->cas(to_wide(expected), to_wide(desired));
+  }
+  static auto cas_write(CasCell& cell, const Word& desired) {
+    return cell->write(to_wide(desired));
+  }
+  static Word peek_cas(const CasCell& cell) {
+    const sim::WideWord w = cell->peek();
+    return Word{{w.lo, w.hi}, w.ctx};
+  }
+  /// The simulated CAS object is an atomic primitive by construction.
+  static bool cas_is_lock_free(const CasCell&) { return true; }
+
+ private:
+  static sim::WideWord to_wide(const Word& word) {
+    return sim::WideWord{word.value.lo, word.value.hi, word.ctx};
+  }
+};
+
+static_assert(ExecutionEnv<SimEnv>);
+
+}  // namespace hi::env

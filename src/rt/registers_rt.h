@@ -1,74 +1,47 @@
 // The §4 register algorithms on real hardware: Vidyasankar's Algorithm 1,
 // the lock-free state-quiescent-HI Algorithm 2/3, and the wait-free
-// quiescent-HI Algorithm 4, each over arrays of std::atomic<uint8_t> binary
-// registers (seq_cst — these algorithms' proofs assume atomic registers
-// with a total order on operations). See src/core/*.h for the line-by-line
-// paper commentary; this file mirrors those implementations for benchmarks
-// and real-thread stress tests.
+// quiescent-HI Algorithm 4.
+//
+// Single-source: the algorithm bodies live in algo/registers.h, templated
+// over the execution environment; these classes instantiate them with RtEnv
+// (arrays of cache-line-padded std::atomic<uint8_t> binary registers,
+// seq_cst — the proofs assume atomic registers with a total order on
+// operations) and expose the synchronous call-style interface the stress
+// tests and benchmarks drive. The simulator instantiations of the SAME
+// bodies are in src/core; memory_image() here matches the simulator's
+// mem(C) snapshot word-for-word after identical operation sequences (see
+// tests/test_env_parity.cpp).
 #pragma once
 
-#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
-#include "util/padded.h"
+#include "algo/registers.h"
+#include "env/rt_env.h"
 
 namespace hi::rt {
-
-namespace detail {
-using BinaryCell = util::Padded<std::atomic<std::uint8_t>>;
-}  // namespace detail
 
 /// Algorithm 1 [Vidyasankar]: wait-free, NOT history independent.
 class RtVidyasankarRegister {
  public:
   explicit RtVidyasankarRegister(std::uint32_t num_values,
                                  std::uint32_t initial = 1)
-      : num_values_(num_values), a_(num_values) {
-    assert(initial >= 1 && initial <= num_values);
-    for (auto& cell : a_) cell->store(0, std::memory_order_relaxed);
-    a_[initial - 1]->store(1, std::memory_order_seq_cst);
-  }
+      : alg_(env::RtEnv::Ctx{}, num_values, initial) {}
 
-  std::uint32_t read() const {
-    std::uint32_t j = 1;
-    while (slot(j).load(std::memory_order_seq_cst) == 0) {
-      ++j;
-      assert(j <= num_values_);
-    }
-    std::uint32_t val = j;
-    for (std::uint32_t down = j; down-- > 1;) {
-      if (slot(down).load(std::memory_order_seq_cst) == 1) val = down;
-    }
-    return val;
-  }
-
-  void write(std::uint32_t value) {
-    assert(value >= 1 && value <= num_values_);
-    slot(value).store(1, std::memory_order_seq_cst);
-    for (std::uint32_t j = value; j-- > 1;) {
-      slot(j).store(0, std::memory_order_seq_cst);
-    }
-  }
+  std::uint32_t read() { return alg_.read().get(); }
+  void write(std::uint32_t value) { (void)alg_.write(value).get(); }
 
   std::vector<std::uint8_t> memory_image() const {
-    std::vector<std::uint8_t> image(num_values_);
-    for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      image[v - 1] = slot(v).load(std::memory_order_seq_cst);
-    }
+    std::vector<std::uint8_t> image;
+    image.reserve(alg_.num_values());
+    alg_.encode_memory(image);
     return image;
   }
 
  private:
-  std::atomic<std::uint8_t>& slot(std::uint32_t v) { return *a_[v - 1]; }
-  const std::atomic<std::uint8_t>& slot(std::uint32_t v) const {
-    return *a_[v - 1];
-  }
-
-  std::uint32_t num_values_;
-  mutable std::vector<detail::BinaryCell> a_;
+  algo::VidyasankarAlg<env::RtEnv> alg_;
 };
 
 /// Algorithm 2/3: lock-free, state-quiescent HI.
@@ -76,63 +49,26 @@ class RtLockFreeHiRegister {
  public:
   explicit RtLockFreeHiRegister(std::uint32_t num_values,
                                 std::uint32_t initial = 1)
-      : num_values_(num_values), a_(num_values) {
-    for (auto& cell : a_) cell->store(0, std::memory_order_relaxed);
-    a_[initial - 1]->store(1, std::memory_order_seq_cst);
-  }
+      : alg_(env::RtEnv::Ctx{}, num_values, initial) {}
 
   /// Read: retry TryRead until it finds a value. Lock-free only; under a
   /// write-saturated schedule this can spin (the Theorem 17 behaviour) —
   /// `max_attempts` lets benchmarks bound the wait and report failures.
-  std::optional<std::uint32_t> read(std::uint64_t max_attempts = 0) const {
-    for (std::uint64_t attempt = 0; max_attempts == 0 || attempt < max_attempts;
-         ++attempt) {
-      const std::optional<std::uint32_t> val = try_read();
-      if (val.has_value()) return val;
-    }
-    return std::nullopt;
+  std::optional<std::uint32_t> read(std::uint64_t max_attempts = 0) {
+    return alg_.read_bounded(max_attempts).get();
   }
 
-  void write(std::uint32_t value) {
-    assert(value >= 1 && value <= num_values_);
-    slot(value).store(1, std::memory_order_seq_cst);
-    for (std::uint32_t j = value; j-- > 1;) {
-      slot(j).store(0, std::memory_order_seq_cst);
-    }
-    for (std::uint32_t j = value + 1; j <= num_values_; ++j) {
-      slot(j).store(0, std::memory_order_seq_cst);
-    }
-  }
+  void write(std::uint32_t value) { (void)alg_.write(value).get(); }
 
   std::vector<std::uint8_t> memory_image() const {
-    std::vector<std::uint8_t> image(num_values_);
-    for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      image[v - 1] = slot(v).load(std::memory_order_seq_cst);
-    }
+    std::vector<std::uint8_t> image;
+    image.reserve(alg_.num_values());
+    alg_.encode_memory(image);
     return image;
   }
 
  private:
-  std::optional<std::uint32_t> try_read() const {
-    for (std::uint32_t j = 1; j <= num_values_; ++j) {
-      if (slot(j).load(std::memory_order_seq_cst) == 1) {
-        std::uint32_t val = j;
-        for (std::uint32_t down = j; down-- > 1;) {
-          if (slot(down).load(std::memory_order_seq_cst) == 1) val = down;
-        }
-        return val;
-      }
-    }
-    return std::nullopt;
-  }
-
-  std::atomic<std::uint8_t>& slot(std::uint32_t v) { return *a_[v - 1]; }
-  const std::atomic<std::uint8_t>& slot(std::uint32_t v) const {
-    return *a_[v - 1];
-  }
-
-  std::uint32_t num_values_;
-  mutable std::vector<detail::BinaryCell> a_;
+  algo::LockFreeHiAlg<env::RtEnv> alg_;
 };
 
 /// Algorithm 4: wait-free, quiescent HI (reader announces, writer helps
@@ -141,113 +77,21 @@ class RtWaitFreeHiRegister {
  public:
   explicit RtWaitFreeHiRegister(std::uint32_t num_values,
                                 std::uint32_t initial = 1)
-      : num_values_(num_values),
-        a_(num_values),
-        b_(num_values),
-        last_val_(initial) {
-    for (auto& cell : a_) cell->store(0, std::memory_order_relaxed);
-    for (auto& cell : b_) cell->store(0, std::memory_order_relaxed);
-    flag_[0].store(0, std::memory_order_relaxed);
-    flag_[1].store(0, std::memory_order_relaxed);
-    a_[initial - 1]->store(1, std::memory_order_seq_cst);
-  }
+      : alg_(env::RtEnv::Ctx{}, num_values, initial) {}
 
-  std::uint32_t read() {
-    flag_[0].store(1, std::memory_order_seq_cst);  // line 1
-    std::uint32_t val = 0;
-    for (int attempt = 0; attempt < 2; ++attempt) {  // lines 2–4
-      const std::optional<std::uint32_t> got = try_read();
-      if (got.has_value()) {
-        val = *got;
-        break;
-      }
-    }
-    if (val == 0) {  // lines 5–6
-      for (std::uint32_t j = 1; j <= num_values_; ++j) {
-        if (b(j).load(std::memory_order_seq_cst) == 1) val = j;
-      }
-      assert(val != 0 && "Lemma 10");
-    }
-    flag_[1].store(1, std::memory_order_seq_cst);  // line 7
-    for (std::uint32_t j = 1; j <= num_values_; ++j) {  // line 8
-      b(j).store(0, std::memory_order_seq_cst);
-    }
-    flag_[0].store(0, std::memory_order_seq_cst);  // line 9
-    flag_[1].store(0, std::memory_order_seq_cst);
-    return val;  // line 10
-  }
+  std::uint32_t read() { return alg_.read().get(); }
+  void write(std::uint32_t value) { (void)alg_.write(value).get(); }
 
-  void write(std::uint32_t value) {
-    assert(value >= 1 && value <= num_values_);
-    bool b_all_zero = true;  // line 11
-    for (std::uint32_t j = 1; j <= num_values_; ++j) {
-      if (b(j).load(std::memory_order_seq_cst) == 1) {
-        b_all_zero = false;
-        break;
-      }
-    }
-    if (b_all_zero) {
-      if (flag_[0].load(std::memory_order_seq_cst) == 1) {  // line 12
-        b(last_val_).store(1, std::memory_order_seq_cst);   // line 13
-        const std::uint8_t f2 = flag_[1].load(std::memory_order_seq_cst);
-        const std::uint8_t f1 = flag_[0].load(std::memory_order_seq_cst);
-        if (f2 == 1 || f1 == 0) {                           // line 14
-          b(last_val_).store(0, std::memory_order_seq_cst);  // line 15
-        }
-      }
-    }
-    a(value).store(1, std::memory_order_seq_cst);  // line 16
-    for (std::uint32_t j = value; j-- > 1;) {      // line 17
-      a(j).store(0, std::memory_order_seq_cst);
-    }
-    for (std::uint32_t j = value + 1; j <= num_values_; ++j) {  // line 18
-      a(j).store(0, std::memory_order_seq_cst);
-    }
-    last_val_ = value;  // line 19 (writer-local)
-  }
-
+  /// A[1..K], B[1..K], flag[1..2] — the simulator's mem(C) layout order.
   std::vector<std::uint8_t> memory_image() const {
     std::vector<std::uint8_t> image;
-    image.reserve(2 * num_values_ + 2);
-    for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      image.push_back(a(v).load(std::memory_order_seq_cst));
-    }
-    for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      image.push_back(b(v).load(std::memory_order_seq_cst));
-    }
-    image.push_back(flag_[0].load(std::memory_order_seq_cst));
-    image.push_back(flag_[1].load(std::memory_order_seq_cst));
+    image.reserve(2 * alg_.num_values() + 2);
+    alg_.encode_memory(image);
     return image;
   }
 
  private:
-  std::optional<std::uint32_t> try_read() const {
-    for (std::uint32_t j = 1; j <= num_values_; ++j) {
-      if (a(j).load(std::memory_order_seq_cst) == 1) {
-        std::uint32_t val = j;
-        for (std::uint32_t down = j; down-- > 1;) {
-          if (a(down).load(std::memory_order_seq_cst) == 1) val = down;
-        }
-        return val;
-      }
-    }
-    return std::nullopt;
-  }
-
-  std::atomic<std::uint8_t>& a(std::uint32_t v) { return *a_[v - 1]; }
-  const std::atomic<std::uint8_t>& a(std::uint32_t v) const {
-    return *a_[v - 1];
-  }
-  std::atomic<std::uint8_t>& b(std::uint32_t v) { return *b_[v - 1]; }
-  const std::atomic<std::uint8_t>& b(std::uint32_t v) const {
-    return *b_[v - 1];
-  }
-
-  std::uint32_t num_values_;
-  mutable std::vector<detail::BinaryCell> a_;
-  mutable std::vector<detail::BinaryCell> b_;
-  mutable std::atomic<std::uint8_t> flag_[2];
-  std::uint32_t last_val_;  // single-writer local state
+  algo::WaitFreeHiAlg<env::RtEnv> alg_;
 };
 
 }  // namespace hi::rt

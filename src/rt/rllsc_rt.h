@@ -1,90 +1,72 @@
 // Algorithm 6 on real hardware: lock-free perfect-HI releasable LL/SC over a
-// single 16-byte atomic CAS word (value + context bitmask). The structure is
-// identical to src/core/rllsc.h's simulated version; here each primitive is
-// a real std::atomic operation. Process identities are explicit small
-// integers (0..63) supplied by the caller, exactly as the paper's p_i.
+// single 16-byte atomic CAS word (value + context bitmask).
+//
+// Single-source: the algorithm body lives in algo/rllsc.h (CasRllscAlg),
+// instantiated here with RtEnv so each primitive is a real std::atomic
+// operation on an Atomic128 word (CMPXCHG16B via -mcx16); the simulator
+// instantiation of the SAME body is core::CasRllsc. Process identities are
+// explicit small integers (0..63) supplied by the caller, exactly as the
+// paper's p_i.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <optional>
+#include <utility>
 
+#include "algo/rllsc.h"
+#include "env/rt_env.h"
 #include "rt/atomic128.h"
-#include "util/bits.h"
-#include "util/padded.h"
 
 namespace hi::rt {
 
 class RtRllsc {
  public:
-  RtRllsc() = default;
-  explicit RtRllsc(std::uint64_t initial) : cell_(Word128{initial, 0}) {}
+  RtRllsc() : alg_(env::RtEnv::Ctx{}, "X", 0) {}
+  explicit RtRllsc(std::uint64_t initial)
+      : alg_(env::RtEnv::Ctx{}, "X", initial) {}
 
   /// LL(O): CAS-install the caller's context bit; returns the value read.
-  std::uint64_t ll(int pid) {
-    Word128 cur = cell_.load();
-    for (;;) {
-      Word128 linked = cur;
-      linked.ctx = util::set_bit(linked.ctx, static_cast<unsigned>(pid));
-      if (cell_.compare_exchange(cur, linked)) return cur.value;
-      // compare_exchange refreshed `cur`.
-    }
-  }
+  std::uint64_t ll(int pid) { return alg_.ll(pid).get(); }
 
   /// LL with Algorithm 5's ‖-interleaving: between CAS attempts, run one
   /// poll; a true poll abandons the LL (caller erases the context trace).
+  /// `poll` is a plain bool-returning callable, as before.
   template <typename Poll>
   std::optional<std::uint64_t> ll_interleaved(int pid, Poll&& poll) {
-    Word128 cur = cell_.load();
-    for (;;) {
-      Word128 linked = cur;
-      linked.ctx = util::set_bit(linked.ctx, static_cast<unsigned>(pid));
-      if (cell_.compare_exchange(cur, linked)) return cur.value;
-      if (poll()) return std::nullopt;
-    }
+    return alg_
+        .ll_interleaved(pid,
+                        [&poll] {
+                          return env::detail::ready(static_cast<bool>(poll()));
+                        })
+        .get();
   }
 
   /// VL(O): is the caller still linked?
-  bool vl(int pid) const {
-    return util::test_bit(cell_.load().ctx, static_cast<unsigned>(pid));
-  }
+  bool vl(int pid) { return alg_.vl(pid).get(); }
 
   /// SC(O, new): install iff the caller is linked; resets the context.
-  bool sc(int pid, std::uint64_t desired) {
-    Word128 cur = cell_.load();
-    while (util::test_bit(cur.ctx, static_cast<unsigned>(pid))) {
-      if (cell_.compare_exchange(cur, Word128{desired, 0})) return true;
-    }
-    return false;
-  }
+  bool sc(int pid, std::uint64_t desired) { return alg_.sc(pid, desired).get(); }
 
   /// RL(O): remove the caller from the context; always succeeds.
-  bool rl(int pid) {
-    Word128 cur = cell_.load();
-    while (util::test_bit(cur.ctx, static_cast<unsigned>(pid))) {
-      Word128 released = cur;
-      released.ctx = util::clear_bit(released.ctx, static_cast<unsigned>(pid));
-      if (cell_.compare_exchange(cur, released)) return true;
-    }
-    return true;
-  }
+  bool rl(int pid) { return alg_.rl(pid).get(); }
 
-  std::uint64_t load() const { return cell_.load().value; }
+  std::uint64_t load() { return alg_.load().get(); }
 
-  bool store(std::uint64_t desired) {
-    cell_.store(Word128{desired, 0});
-    return true;
-  }
+  bool store(std::uint64_t desired) { return alg_.store(desired).get(); }
 
   /// Observer-side snapshot of the full base-object state (value, context) —
   /// the rt analogue of mem(C) for this cell. Only meaningful at quiescence
   /// unless the caller tolerates racing reads.
-  Word128 snapshot() const { return cell_.load(); }
+  Word128 snapshot() const {
+    const auto word = alg_.peek_word();
+    return Word128{word.value, word.ctx};
+  }
 
-  bool is_lock_free() const { return cell_.is_lock_free(); }
+  bool is_lock_free() const { return alg_.is_lock_free(); }
 
  private:
-  Atomic128 cell_;
+  algo::CasRllscAlg<env::RtEnv> alg_;
 };
 
 }  // namespace hi::rt

@@ -1,19 +1,23 @@
 // Algorithm 5 on real hardware: the wait-free state-quiescent-HI universal
-// construction over RtRllsc cells (16-byte atomic CAS words). Logic is
-// line-for-line the simulated version in src/core/universal.h; see there for
-// the algorithm commentary. Packing limits (the DESIGN.md substitution):
-// encoded abstract states ≤ 32 bits, responses ≤ 24 bits, ≤ 64 processes.
+// construction over CAS-backed R-LLSC cells (16-byte atomic words).
+//
+// Single-source: the algorithm body lives in algo/universal.h
+// (UniversalAlg), instantiated here with RtEnv and CasRllscAlg<RtEnv> — the
+// same Theorem 32 composition the simulator model-checks as
+// core::Universal<S, core::CasRllsc>. Packing limits (the DESIGN
+// substitution carried by RllscWordCodec<uint64_t>): encoded abstract
+// states ≤ 32 bits, responses ≤ 24 bits, ≤ 64 processes.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <optional>
 #include <vector>
 
+#include "algo/rllsc.h"
+#include "algo/universal.h"
+#include "env/rt_env.h"
 #include "rt/atomic128.h"
-#include "rt/rllsc_rt.h"
 #include "spec/spec.h"
-#include "util/padded.h"
 
 namespace hi::rt {
 
@@ -24,190 +28,38 @@ class RtUniversal {
   using Resp = typename S::Resp;
 
   RtUniversal(const S& spec, int num_processes, bool clear_contexts = true)
-      : spec_(spec),
-        n_(num_processes),
-        clear_contexts_(clear_contexts),
-        head_(make_head(spec.encode_state(spec.initial_state()),
-                        std::nullopt)),
-        announce_(num_processes),
-        priority_(num_processes) {
-    assert(num_processes >= 1 && num_processes <= 64);
-    for (int i = 0; i < n_; ++i) {
-      announce_[i]->store(kBottom);
-      *priority_[i] = i;
-    }
-  }
+      : alg_(env::RtEnv::Ctx{}, spec, num_processes, clear_contexts) {}
 
-  Resp apply(int pid, Op op) {
-    if (spec_.is_read_only(op)) return apply_read_only(pid, op);
-    return apply_update(pid, op);
-  }
-
+  Resp apply(int pid, Op op) { return alg_.apply(pid, op).get(); }
   Resp apply_read_only(int pid, Op op) {
-    (void)pid;
-    const std::uint64_t raw = head_.load();  // line 1
-    return spec_.apply(spec_.decode_state(head_state(raw)), op).second;
+    return alg_.apply_read_only(pid, op).get();
   }
-
-  Resp apply_update(int pid, Op op) {
-    assert(pid >= 0 && pid < n_);
-    const std::uint32_t my_op_word = spec_.encode_op(op);
-    RtRllsc& my_cell = *announce_[pid];
-
-    my_cell.store(announce_op(my_op_word));  // line 4
-
-    const auto poll_helped = [&my_cell] { return is_resp(my_cell.load()); };
-    for (;;) {
-      const std::uint64_t mine = my_cell.load();  // line 5
-      if (is_resp(mine)) break;
-
-      const std::optional<std::uint64_t> head_raw =
-          head_.ll_interleaved(pid, poll_helped);  // line 6 (‖ 6R)
-      if (!head_raw.has_value()) break;            // 6R.2
-      const std::uint64_t raw = *head_raw;
-
-      if (!head_has_resp(raw)) {  // line 7
-        std::uint32_t apply_word = 0;
-        int target = -1;
-        const int candidate = *priority_[pid];
-        const std::uint64_t help = announce_[candidate]->load();  // line 8
-        if (is_op(help)) {  // line 9
-          apply_word = payload(help);
-          target = candidate;
-        } else {
-          const std::uint64_t own = my_cell.load();  // line 11
-          if (!is_op(own)) continue;
-          apply_word = my_op_word;  // line 12
-          target = pid;
-        }
-        const auto [next_state, rsp] =
-            spec_.apply(spec_.decode_state(head_state(raw)),
-                        spec_.decode_op(apply_word));  // line 13
-        const bool installed = head_.sc(
-            pid, make_head(spec_.encode_state(next_state),
-                           HeadResp{spec_.encode_resp(rsp),
-                                    target}));  // line 14
-        if (installed) {
-          *priority_[pid] = (*priority_[pid] + 1) % n_;  // line 15
-        }
-      } else {  // lines 16–22
-        const std::uint32_t rsp_word = head_resp(raw);  // line 17
-        const int target = head_pid(raw);
-
-        const std::optional<std::uint64_t> a =
-            announce_[target]->ll_interleaved(pid, poll_helped);  // line 18
-        if (!a.has_value()) {
-          if (clear_contexts_) announce_[target]->rl(pid);  // 18R.2
-          break;                                            // 18R.3
-        }
-        const bool head_valid = head_.vl(pid);  // line 19
-        if (head_valid) {
-          if (is_op(*a)) {
-            announce_[target]->sc(pid, announce_resp(rsp_word));  // line 20
-          }
-          head_.sc(pid, make_head(head_state(raw), std::nullopt));  // line 21
-        }
-        if (is_bottom(*a) && clear_contexts_) {
-          announce_[target]->rl(pid);  // line 22 (red)
-        }
-      }
-    }
-
-    const std::uint64_t resp_val = my_cell.load();  // line 24
-    assert(is_resp(resp_val));
-
-    const auto poll_cleared = [this, pid] {  // 25R.1
-      const std::uint64_t raw = head_.load();
-      return !(head_has_resp(raw) && head_pid(raw) == pid);
-    };
-    const std::optional<std::uint64_t> head_raw =
-        head_.ll_interleaved(pid, poll_cleared);  // line 25
-    bool handled = false;
-    if (head_raw.has_value()) {
-      if (head_has_resp(*head_raw) && head_pid(*head_raw) == pid) {  // l. 26
-        head_.sc(pid, make_head(head_state(*head_raw), std::nullopt));
-        handled = true;
-      }
-    }
-    if (!handled && clear_contexts_) head_.rl(pid);  // line 27 (red)
-
-    my_cell.store(kBottom);  // line 28
-    return spec_.decode_resp(payload(resp_val));  // line 29
-  }
+  Resp apply_update(int pid, Op op) { return alg_.apply_update(pid, op).get(); }
 
   // ---- Observer-side introspection (valid at quiescence) ----
 
-  std::uint64_t head_state_encoded() const { return head_state(head_.load()); }
-  bool head_has_response() const { return head_has_resp(head_.load()); }
-  bool announce_is_bottom(int pid) const {
-    return is_bottom(announce_[pid]->load());
-  }
-  std::uint64_t context_union() const {
-    std::uint64_t mask = head_.snapshot().ctx;
-    for (int i = 0; i < n_; ++i) mask |= announce_[i]->snapshot().ctx;
-    return mask;
-  }
+  std::uint64_t head_state_encoded() const { return alg_.head_state_encoded(); }
+  bool head_has_response() const { return alg_.head_has_response(); }
+  bool announce_is_bottom(int pid) const { return alg_.announce_is_bottom(pid); }
+  std::uint64_t context_union() const { return alg_.context_union(); }
+
   /// Full memory image (head word + announce words), for HI comparisons at
   /// quiescence.
   std::vector<Word128> memory_image() const {
+    const auto words = alg_.memory_words();
     std::vector<Word128> image;
-    image.reserve(1 + n_);
-    image.push_back(head_.snapshot());
-    for (int i = 0; i < n_; ++i) image.push_back(announce_[i]->snapshot());
+    image.reserve(words.size());
+    for (const auto& word : words) {
+      image.push_back(Word128{word.value, word.ctx});
+    }
     return image;
   }
 
-  int num_processes() const { return n_; }
-  bool is_lock_free() const { return head_.is_lock_free(); }
+  int num_processes() const { return alg_.num_processes(); }
+  bool is_lock_free() const { return alg_.is_lock_free(); }
 
  private:
-  // announce encoding: tag (bits 32-33) | payload (bits 0-31); ⊥ = 0.
-  static constexpr std::uint64_t kBottom = 0;
-  static std::uint64_t announce_op(std::uint32_t w) {
-    return (std::uint64_t{1} << 32) | w;
-  }
-  static std::uint64_t announce_resp(std::uint32_t w) {
-    return (std::uint64_t{2} << 32) | w;
-  }
-  static bool is_bottom(std::uint64_t v) { return v == 0; }
-  static bool is_op(std::uint64_t v) { return (v >> 32) == 1; }
-  static bool is_resp(std::uint64_t v) { return (v >> 32) == 2; }
-  static std::uint32_t payload(std::uint64_t v) {
-    return static_cast<std::uint32_t>(v & 0xffffffffu);
-  }
-
-  // head encoding: state (bits 0-31) | rsp (32-55) | pid (56-61) | has (62).
-  struct HeadResp {
-    std::uint32_t rsp;
-    int pid;
-  };
-  static std::uint64_t make_head(std::uint64_t state_encoded,
-                                 std::optional<HeadResp> resp) {
-    assert(state_encoded <= 0xffffffffull && "rt states must fit 32 bits");
-    std::uint64_t word = state_encoded;
-    if (resp.has_value()) {
-      assert(resp->rsp <= 0xffffffu && "rt responses must fit 24 bits");
-      word |= (static_cast<std::uint64_t>(resp->rsp) << 32) |
-              (static_cast<std::uint64_t>(resp->pid) << 56) |
-              (std::uint64_t{1} << 62);
-    }
-    return word;
-  }
-  static std::uint64_t head_state(std::uint64_t v) { return v & 0xffffffffu; }
-  static bool head_has_resp(std::uint64_t v) { return (v >> 62) & 1u; }
-  static std::uint32_t head_resp(std::uint64_t v) {
-    return static_cast<std::uint32_t>((v >> 32) & 0xffffffu);
-  }
-  static int head_pid(std::uint64_t v) {
-    return static_cast<int>((v >> 56) & 0x3fu);
-  }
-
-  const S& spec_;
-  int n_;
-  bool clear_contexts_;
-  RtRllsc head_;
-  std::vector<util::Padded<RtRllsc>> announce_;
-  std::vector<util::Padded<int>> priority_;
+  algo::UniversalAlg<env::RtEnv, S, algo::CasRllscAlg<env::RtEnv>> alg_;
 };
 
 }  // namespace hi::rt

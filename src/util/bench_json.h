@@ -1,0 +1,140 @@
+// Machine-readable benchmark results, so the performance trajectory can be
+// tracked across PRs without scraping console output.
+//
+// Each bench executable writes one BENCH_<suite>.json next to its working
+// directory (override the directory with HI_BENCH_DIR):
+//
+//   {
+//     "suite": "registers",
+//     "results": [
+//       {"name": "alg2/solo_write", "threads": 1,
+//        "ops_per_sec": 12345678.9, "p50_ns": 81, "p99_ns": 204},
+//       ...
+//     ]
+//   }
+//
+// measure_throughput() is the standard harness: per-operation latencies are
+// sampled with steady_clock on every thread (the ~25ns clock overhead is
+// part of the reported latency, identically for every algorithm), wall time
+// is taken across the whole thread group for ops/sec.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace hi::util {
+
+struct BenchResult {
+  std::string name;
+  int threads = 1;
+  double ops_per_sec = 0.0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+};
+
+/// Run `op(tid, i)` ops_per_thread times on each of `threads` threads,
+/// timing every call. OpFn must be thread-safe across distinct tids.
+template <typename OpFn>
+BenchResult measure_throughput(std::string name, int threads,
+                               std::size_t ops_per_thread, OpFn op) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<Samples> per_thread(static_cast<std::size_t>(threads));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+
+  // Start barrier: the wall clock starts when every thread is spawned and
+  // released together, so thread-creation stagger neither pads the wall
+  // time nor lets early threads run a lower-contention phase.
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  for (int tid = 0; tid < threads; ++tid) {
+    pool.emplace_back([&, tid] {
+      Samples& samples = per_thread[static_cast<std::size_t>(tid)];
+      samples.reserve(ops_per_thread);
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::size_t i = 0; i < ops_per_thread; ++i) {
+        const auto start = Clock::now();
+        op(tid, i);
+        const auto end = Clock::now();
+        samples.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                .count()));
+      }
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < threads) {
+  }
+  const auto wall_start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& worker : pool) worker.join();
+  const auto wall_end = Clock::now();
+
+  Samples merged;
+  for (const Samples& samples : per_thread) merged.merge(samples);
+
+  const double wall_sec =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  const double total_ops =
+      static_cast<double>(ops_per_thread) * static_cast<double>(threads);
+
+  BenchResult result;
+  result.name = std::move(name);
+  result.threads = threads;
+  result.ops_per_sec = wall_sec > 0 ? total_ops / wall_sec : 0.0;
+  result.p50_ns = merged.percentile(0.5);
+  result.p99_ns = merged.percentile(0.99);
+  return result;
+}
+
+/// Collects results and writes BENCH_<suite>.json.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string suite) : suite_(std::move(suite)) {}
+
+  void add(BenchResult result) { results_.push_back(std::move(result)); }
+
+  /// Writes the JSON file; returns the path written (empty on failure).
+  std::string write() const {
+    std::string dir = ".";
+    if (const char* env_dir = std::getenv("HI_BENCH_DIR")) dir = env_dir;
+    const std::string path = dir + "/BENCH_" + suite_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+      return "";
+    }
+    std::fprintf(out, "{\n  \"suite\": \"%s\",\n  \"results\": [\n",
+                 suite_.c_str());
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const BenchResult& r = results_[i];
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"threads\": %d, "
+                   "\"ops_per_sec\": %.1f, \"p50_ns\": %llu, "
+                   "\"p99_ns\": %llu}%s\n",
+                   r.name.c_str(), r.threads, r.ops_per_sec,
+                   static_cast<unsigned long long>(r.p50_ns),
+                   static_cast<unsigned long long>(r.p99_ns),
+                   i + 1 < results_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("bench_json: wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string suite_;
+  std::vector<BenchResult> results_;
+};
+
+}  // namespace hi::util

@@ -1,0 +1,231 @@
+// Env-layer parity suite: each single-source algorithm (algo/*.h over the
+// Env abstraction) is instantiated by BOTH execution environments, so for
+// any *sequential* operation sequence the simulator instantiation and the
+// hardware instantiation must march through identical memory states — the
+// sim mem(C) snapshot and the rt memory_image() are the same vector, and
+// every response matches. This pins the two backends to one semantics: a
+// future edit that diverges them (or a codec/packing bug) fails here before
+// any HI property is even consulted.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hi_register_lockfree.h"
+#include "core/hi_register_waitfree.h"
+#include "core/rllsc.h"
+#include "core/universal.h"
+#include "core/vidyasankar.h"
+#include "register_common.h"
+#include "rt/registers_rt.h"
+#include "rt/rllsc_rt.h"
+#include "rt/universal_rt.h"
+#include "sim/harness.h"
+#include "sim/memory.h"
+#include "sim/scheduler.h"
+#include "spec/counter_spec.h"
+#include "spec/register_spec.h"
+#include "util/rng.h"
+
+namespace hi {
+namespace {
+
+/// The sim mem(C) snapshot as bytes, comparable with rt memory_image().
+std::vector<std::uint8_t> snapshot_bytes(const sim::Memory& memory) {
+  const sim::MemorySnapshot snap = memory.snapshot();
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(snap.words.size());
+  for (const std::uint64_t word : snap.words) {
+    EXPECT_LE(word, 0xffull) << "binary-register snapshot word out of range";
+    bytes.push_back(static_cast<std::uint8_t>(word));
+  }
+  return bytes;
+}
+
+/// Drive identical random SWSR sequences (sequentially — writer ops and
+/// reader ops never overlap) through the sim and rt instantiations of one
+/// register algorithm; compare responses and memory after every operation.
+template <typename SimImpl, typename RtImpl>
+void register_parity(std::uint32_t num_values, std::uint32_t initial,
+                     std::uint64_t seed) {
+  testing::RegisterSystem<SimImpl> sim_sys(num_values, initial);
+  RtImpl rt_reg(num_values, initial);
+
+  EXPECT_EQ(snapshot_bytes(sim_sys.memory), rt_reg.memory_image())
+      << "initial memory diverges";
+
+  util::Xoshiro256 rng(seed);
+  for (int step = 0; step < 200; ++step) {
+    if (rng.chance(1, 3)) {
+      const auto sim_got = sim::run_solo(sim_sys.sched, testing::kReaderPid,
+                                         sim_sys.impl.read(testing::kReaderPid));
+      if constexpr (requires { rt_reg.read(std::uint64_t{1}); }) {
+        const auto rt_got = rt_reg.read(/*max_attempts=*/1);
+        ASSERT_TRUE(rt_got.has_value()) << "solo TryRead cannot fail";
+        EXPECT_EQ(sim_got, *rt_got) << "read response diverges at " << step;
+      } else {
+        const auto rt_got = rt_reg.read();
+        EXPECT_EQ(sim_got, rt_got) << "read response diverges at " << step;
+      }
+    } else {
+      const auto value =
+          static_cast<std::uint32_t>(rng.next_in(1, num_values));
+      (void)sim::run_solo(sim_sys.sched, testing::kWriterPid,
+                          sim_sys.impl.write(testing::kWriterPid, value));
+      rt_reg.write(value);
+    }
+    ASSERT_EQ(snapshot_bytes(sim_sys.memory), rt_reg.memory_image())
+        << "memory diverges after op " << step;
+  }
+}
+
+TEST(EnvParity, Vidyasankar) {
+  register_parity<core::VidyasankarRegister, rt::RtVidyasankarRegister>(6, 1,
+                                                                        11);
+  register_parity<core::VidyasankarRegister, rt::RtVidyasankarRegister>(3, 2,
+                                                                        12);
+}
+
+TEST(EnvParity, LockFreeHiRegister) {
+  register_parity<core::LockFreeHiRegister, rt::RtLockFreeHiRegister>(6, 1, 21);
+  register_parity<core::LockFreeHiRegister, rt::RtLockFreeHiRegister>(4, 3, 22);
+}
+
+TEST(EnvParity, WaitFreeHiRegister) {
+  register_parity<core::WaitFreeHiRegister, rt::RtWaitFreeHiRegister>(6, 1, 31);
+  register_parity<core::WaitFreeHiRegister, rt::RtWaitFreeHiRegister>(5, 5, 32);
+}
+
+TEST(EnvParity, VidyasankarLeakReproducesIdentically) {
+  // The signature non-HI behaviour must be bit-identical across backends:
+  // Write(2); Write(1) leaves [1,1,0...] in both environments.
+  testing::RegisterSystem<core::VidyasankarRegister> sim_sys(3, 1);
+  rt::RtVidyasankarRegister rt_reg(3, 1);
+  for (const std::uint32_t v : {2u, 1u}) {
+    (void)sim::run_solo(sim_sys.sched, testing::kWriterPid,
+                        sim_sys.impl.write(testing::kWriterPid, v));
+    rt_reg.write(v);
+  }
+  EXPECT_EQ(snapshot_bytes(sim_sys.memory),
+            (std::vector<std::uint8_t>{1, 1, 0}));
+  EXPECT_EQ(rt_reg.memory_image(), (std::vector<std::uint8_t>{1, 1, 0}));
+}
+
+// ---- R-LLSC (Algorithm 6): value ↦ lo (hi unused), ctx ↦ ctx ----
+
+// Cell operations are SubTasks (they must run inside a scheduled process);
+// these adapters lift each one into a schedulable OpTask for run_solo.
+sim::OpTask<std::uint64_t> op_ll(core::CasRllsc& cell, int pid) {
+  const core::RllscValue v = co_await cell.ll(pid);
+  co_return v.lo;
+}
+sim::OpTask<bool> op_vl(core::CasRllsc& cell, int pid) {
+  const bool linked = co_await cell.vl(pid);
+  co_return linked;
+}
+sim::OpTask<bool> op_sc(core::CasRllsc& cell, int pid, std::uint64_t arg) {
+  const bool done = co_await cell.sc(pid, core::RllscValue{arg, 0});
+  co_return done;
+}
+sim::OpTask<bool> op_rl(core::CasRllsc& cell, int pid) {
+  const bool done = co_await cell.rl(pid);
+  co_return done;
+}
+sim::OpTask<std::uint64_t> op_load(core::CasRllsc& cell) {
+  const core::RllscValue v = co_await cell.load();
+  co_return v.lo;
+}
+sim::OpTask<bool> op_store(core::CasRllsc& cell, std::uint64_t arg) {
+  const bool done = co_await cell.store(core::RllscValue{arg, 0});
+  co_return done;
+}
+
+TEST(EnvParity, CasRllsc) {
+  sim::Memory memory;
+  sim::Scheduler sched(4);
+  core::CasRllsc sim_cell(memory, "X", core::RllscValue{7, 0});
+  rt::RtRllsc rt_cell(7);
+
+  const auto expect_same_state = [&](int at) {
+    const sim::MemorySnapshot snap = memory.snapshot();
+    ASSERT_EQ(snap.words.size(), 3u);
+    const rt::Word128 rt_word = rt_cell.snapshot();
+    EXPECT_EQ(snap.words[0], rt_word.value) << "value diverges at " << at;
+    EXPECT_EQ(snap.words[1], 0u) << "hi word unused in this embedding";
+    EXPECT_EQ(snap.words[2], rt_word.ctx) << "context diverges at " << at;
+  };
+
+  util::Xoshiro256 rng(41);
+  for (int step = 0; step < 300; ++step) {
+    const int pid = static_cast<int>(rng.next_below(4));
+    const auto arg = rng.next_below(100);
+    switch (rng.next_below(6)) {
+      case 0:
+        EXPECT_EQ(sim::run_solo(sched, pid, op_ll(sim_cell, pid)),
+                  rt_cell.ll(pid));
+        break;
+      case 1:
+        EXPECT_EQ(sim::run_solo(sched, pid, op_vl(sim_cell, pid)),
+                  rt_cell.vl(pid));
+        break;
+      case 2:
+        EXPECT_EQ(sim::run_solo(sched, pid, op_sc(sim_cell, pid, arg)),
+                  rt_cell.sc(pid, arg));
+        break;
+      case 3:
+        EXPECT_EQ(sim::run_solo(sched, pid, op_rl(sim_cell, pid)),
+                  rt_cell.rl(pid));
+        break;
+      case 4:
+        EXPECT_EQ(sim::run_solo(sched, pid, op_load(sim_cell)),
+                  rt_cell.load());
+        break;
+      default:
+        EXPECT_EQ(sim::run_solo(sched, pid, op_store(sim_cell, arg)),
+                  rt_cell.store(arg));
+        break;
+    }
+    expect_same_state(step);
+  }
+}
+
+// ---- Universal construction (Algorithm 5 over 6): the head/announce word
+// packings intentionally differ per backend (two-word sim values vs the
+// packed 64-bit hardware word), so parity here is semantic: responses, the
+// encoded abstract state, and the quiescent canonical invariants must agree
+// after every operation of an identical sequence. ----
+
+TEST(EnvParity, UniversalCounter) {
+  const spec::CounterSpec spec(1u << 20, 10);
+  const int n = 4;
+  sim::Memory memory;
+  sim::Scheduler sched(n);
+  core::Universal<spec::CounterSpec, core::CasRllsc> sim_obj(memory, spec, n);
+  rt::RtUniversal<spec::CounterSpec> rt_obj(spec, n);
+
+  util::Xoshiro256 rng(51);
+  for (int step = 0; step < 300; ++step) {
+    const int pid = static_cast<int>(rng.next_below(n));
+    spec::CounterSpec::Op op;
+    switch (rng.next_below(4)) {
+      case 0: op = spec::CounterSpec::read(); break;
+      case 1: op = spec::CounterSpec::dec(); break;
+      default: op = spec::CounterSpec::inc(); break;
+    }
+    const auto sim_got = sim::run_solo(sched, pid, sim_obj.apply(pid, op));
+    const auto rt_got = rt_obj.apply(pid, op);
+    EXPECT_EQ(sim_got, rt_got) << "response diverges at " << step;
+    EXPECT_EQ(sim_obj.head_state_encoded(), rt_obj.head_state_encoded());
+    EXPECT_FALSE(sim_obj.head_has_response());
+    EXPECT_FALSE(rt_obj.head_has_response());
+    EXPECT_EQ(sim_obj.context_union(), 0u);
+    EXPECT_EQ(rt_obj.context_union(), 0u);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(sim_obj.announce_is_bottom(i));
+      EXPECT_TRUE(rt_obj.announce_is_bottom(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hi
