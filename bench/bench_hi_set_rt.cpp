@@ -1,0 +1,92 @@
+// §5.1 perfect-HI set on hardware (RtHiSet, the RtEnv instantiation of
+// algo/hi_set.h): every operation is a single seq_cst atomic access to one
+// cache-line-padded binary cell, so this workload measures the raw cost of
+// the perfect-HI discipline — and how it scales when multiple threads hit
+// disjoint vs overlapping elements.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "rt/hi_set_rt.h"
+#include "util/bench_json.h"
+
+namespace hi {
+namespace {
+
+constexpr std::uint32_t kDomain = 64;
+
+void BM_InsertRemove(benchmark::State& state) {
+  static rt::RtHiSet* set = nullptr;
+  if (state.thread_index() == 0) set = new rt::RtHiSet(kDomain);
+  // Each thread toggles its own stripe of elements: disjoint cache lines,
+  // the embarrassingly-parallel case the padded layout is built for.
+  const std::uint32_t base =
+      (static_cast<std::uint32_t>(state.thread_index()) * 8) % kDomain;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const std::uint32_t v = base + (i++ % 8) + 1;
+    benchmark::DoNotOptimize(set->insert(v));
+    benchmark::DoNotOptimize(set->remove(v));
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+  if (state.thread_index() == 0) {
+    delete set;
+    set = nullptr;
+  }
+}
+BENCHMARK(BM_InsertRemove)
+    ->Name("insert_remove")
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+
+void BM_Lookup(benchmark::State& state) {
+  static rt::RtHiSet* set = nullptr;
+  if (state.thread_index() == 0) {
+    set = new rt::RtHiSet(kDomain, /*initial_bits=*/0x5555555555555555ull);
+  }
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set->lookup((i++ % kDomain) + 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete set;
+    set = nullptr;
+  }
+}
+BENCHMARK(BM_Lookup)->Name("lookup")->Threads(1)->Threads(8)->UseRealTime();
+
+/// Machine-readable results (BENCH_hi_set.json) for cross-PR tracking.
+void emit_bench_json() {
+  util::BenchReport report("hi_set");
+  for (const int threads : {1, 2, 4}) {
+    rt::RtHiSet set(kDomain);
+    report.add(util::measure_throughput(
+        "insert_remove", threads, 100'000, [&set](int tid, std::size_t i) {
+          const std::uint32_t v =
+              ((static_cast<std::uint32_t>(tid) * 8) +
+               (static_cast<std::uint32_t>(i) % 8)) % kDomain + 1;
+          benchmark::DoNotOptimize(set.insert(v));
+          benchmark::DoNotOptimize(set.remove(v));
+        }));
+  }
+  {
+    rt::RtHiSet set(kDomain, 0x5555555555555555ull);
+    report.add(util::measure_throughput(
+        "lookup", 1, 200'000, [&set](int, std::size_t i) {
+          benchmark::DoNotOptimize(
+              set.lookup(static_cast<std::uint32_t>(i % kDomain) + 1));
+        }));
+  }
+  report.write();
+}
+
+}  // namespace
+}  // namespace hi
+
+int main(int argc, char** argv) {
+  hi::emit_bench_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

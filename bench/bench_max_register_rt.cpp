@@ -1,0 +1,98 @@
+// §5.1 max register on hardware (RtMaxRegister, the RtEnv instantiation of
+// algo/max_register.h): per-operation cost of the monotone-write register.
+// ReadMax costs O(m) binary-register reads (m = current maximum), WriteMax
+// is O(v) on a ramp and ZERO atomics when absorbed — the absorb fast-path is
+// the HI-relevant behaviour (an absorbed write may leave no footprint), and
+// the benchmark quantifies that it is also the cheap path.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "rt/max_register_rt.h"
+#include "util/bench_json.h"
+
+namespace hi {
+namespace {
+
+constexpr std::uint32_t kValues = 64;
+
+void BM_ReadMax(benchmark::State& state) {
+  // Reader throughput at a fixed maximum (mid-range scan length).
+  static rt::RtMaxRegister* reg = nullptr;
+  if (state.thread_index() == 0) {
+    reg = new rt::RtMaxRegister(kValues, 1, /*writer_pid=*/0, /*reader_pid=*/1);
+    reg->write_max(kValues / 2);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg->read_max());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete reg;
+    reg = nullptr;
+  }
+}
+BENCHMARK(BM_ReadMax)->Name("read_max")->Threads(1)->UseRealTime();
+
+void BM_AbsorbedWrite(benchmark::State& state) {
+  // The maximum is already K: every WriteMax(1) is absorbed writer-locally
+  // with zero shared-memory accesses.
+  static rt::RtMaxRegister* reg = nullptr;
+  if (state.thread_index() == 0) {
+    reg = new rt::RtMaxRegister(kValues);
+    reg->write_max(kValues);
+  }
+  for (auto _ : state) {
+    reg->write_max(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete reg;
+    reg = nullptr;
+  }
+}
+BENCHMARK(BM_AbsorbedWrite)->Name("absorbed_write")->Threads(1)->UseRealTime();
+
+/// Machine-readable results (BENCH_max_register.json) for cross-PR tracking.
+void emit_bench_json() {
+  util::BenchReport report("max_register");
+  {
+    rt::RtMaxRegister reg(kValues, 1);
+    reg.write_max(kValues / 2);
+    report.add(util::measure_throughput(
+        "read_max", 1, 200'000,
+        [&reg](int, std::size_t) { benchmark::DoNotOptimize(reg.read_max()); }));
+  }
+  {
+    rt::RtMaxRegister reg(kValues);
+    reg.write_max(kValues);
+    report.add(util::measure_throughput(
+        "absorbed_write", 1, 200'000,
+        [&reg](int, std::size_t) { reg.write_max(1); }));
+  }
+  {
+    // SWSR under contention: thread 0 writes a slowly rising maximum,
+    // thread 1 reads concurrently.
+    rt::RtMaxRegister reg(kValues, 1, /*writer_pid=*/0, /*reader_pid=*/1);
+    report.add(util::measure_throughput(
+        "swsr_mixed", 2, 100'000, [&reg](int tid, std::size_t i) {
+          if (tid == 0) {
+            reg.write_max(static_cast<std::uint32_t>(i % kValues) + 1);
+          } else {
+            benchmark::DoNotOptimize(reg.read_max());
+          }
+        }));
+  }
+  report.write();
+}
+
+}  // namespace
+}  // namespace hi
+
+int main(int argc, char** argv) {
+  hi::emit_bench_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Wait-free perfect-HI set over {1..t} from t binary registers (§5.1),
+// written ONCE over an execution environment Env (src/env/env.h) and
+// instantiated by the simulator (src/core/hi_set.h) and by real hardware
+// (src/rt/hi_set_rt.h).
+//
+// The set is the paper's example of an object escaping class C_t despite
+// having 2^t states: its operations return only success/failure, so no
+// single operation distinguishes t states, and the impossibility result
+// does not apply. "There is a simple wait-free perfect HI implementation …
+// we simply represent the set as an array S of length t, with S[i] = 1 if
+// and only if element i is in the set, with the obvious implementation."
+//
+// Every operation is a single primitive, so every configuration's memory is
+// exactly the membership bitmap of the current abstract state: perfect HI
+// per Definition 5 (and trivially consistent with Proposition 6 — adjacent
+// states differ in exactly one base object). Fully multi-writer/multi-reader
+// and wait-free.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace hi::algo {
+
+template <typename Env>
+class HiSetAlg {
+ public:
+  template <typename T>
+  using Op = typename Env::template Op<T>;
+
+  /// `initial_bits`: membership bitmap, bit (v-1) set <=> v initially in the
+  /// set — hence the make_bin_array_bits environment factory rather than the
+  /// registers' one-hot initialization.
+  HiSetAlg(typename Env::Ctx ctx, std::uint32_t domain,
+           std::uint64_t initial_bits)
+      : domain_(domain),
+        s_(Env::make_bin_array_bits(ctx, "S", domain, initial_bits)) {
+    assert(domain >= 1 && domain <= 64);
+  }
+
+  /// Insert(v): one blind write of S[v] ← 1.
+  Op<bool> insert(std::uint32_t value) {
+    assert(value >= 1 && value <= domain_);
+    co_await Env::write_bit(s_, value, 1);
+    co_return true;
+  }
+  /// Remove(v): one blind write of S[v] ← 0.
+  Op<bool> remove(std::uint32_t value) {
+    assert(value >= 1 && value <= domain_);
+    co_await Env::write_bit(s_, value, 0);
+    co_return true;
+  }
+  /// Lookup(v): one read of S[v].
+  Op<bool> lookup(std::uint32_t value) {
+    assert(value >= 1 && value <= domain_);
+    const std::uint8_t bit = co_await Env::read_bit(s_, value);
+    co_return bit == 1;
+  }
+
+  /// Observer-side memory image (S[1..t]); never a step of the model.
+  void encode_memory(std::vector<std::uint8_t>& out) const {
+    for (std::uint32_t v = 1; v <= domain_; ++v) {
+      out.push_back(Env::peek_bit(s_, v));
+    }
+  }
+
+  std::uint32_t domain() const { return domain_; }
+
+ private:
+  std::uint32_t domain_;
+  typename Env::BinArray s_;
+};
+
+}  // namespace hi::algo

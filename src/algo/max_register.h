@@ -1,0 +1,105 @@
+// Wait-free state-quiescent-HI max register from binary registers (§5.1),
+// written ONCE over an execution environment Env (src/env/env.h) and
+// instantiated by the simulator (src/core/max_register.h) and by real
+// hardware (src/rt/max_register_rt.h).
+//
+// The paper uses the max register to illustrate the state-connectivity
+// requirement of class C_t: its state graph is not strongly connected (once
+// the maximum reaches m it can never drop below m), so Theorem 17 does not
+// apply — and indeed "a simple modification to Algorithm 1, where the writer
+// only writes to A if the new value is bigger than all the values it has
+// written in the past, results in a wait-free state-quiescent HI max
+// register from binary registers."
+//
+// With monotone writes, Algorithm 1's downward clearing already erases the
+// previous maximum's bit, so at any state-quiescent point A = e_m for the
+// current maximum m: the canonical representation. ReadMax is Algorithm 1's
+// read, wait-free because the cell holding the maximum is never cleared.
+// An absorbed WriteMax (v ≤ previous maximum, tracked writer-locally) takes
+// ZERO shared-memory steps: it must leave no footprint, or the footprint
+// would reveal that the absorbed write happened.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace hi::algo {
+
+/// §5.1's monotone-write modification of Algorithm 1. SWSR, like the §4
+/// registers: `writer_pid`/`reader_pid` pin the two roles (the paper's p_w
+/// and p_r); the asserts document the restriction.
+template <typename Env>
+class HiMaxRegisterAlg {
+ public:
+  template <typename T>
+  using Op = typename Env::template Op<T>;
+
+  HiMaxRegisterAlg(typename Env::Ctx ctx, std::uint32_t num_values,
+                   std::uint32_t initial, int writer_pid, int reader_pid)
+      : num_values_(num_values),
+        writer_pid_(writer_pid),
+        reader_pid_(reader_pid),
+        local_max_(initial),
+        a_(Env::make_bin_array(ctx, "A", num_values, initial)) {
+    assert(initial >= 1 && initial <= num_values);
+  }
+
+  /// ReadMax: Algorithm 1's Read. The up-scan terminates because the bit of
+  /// the current maximum is never cleared; the down-scan can only land on a
+  /// larger-or-equal value (cells below the max are always 0 at rest, and a
+  /// concurrent monotone write only moves the 1 upward).
+  Op<std::uint32_t> read_max(int pid) {
+    assert(pid == reader_pid_);
+    (void)pid;
+    std::uint32_t j = 1;
+    for (;;) {
+      const std::uint8_t bit = co_await Env::read_bit(a_, j);
+      if (bit == 1) break;
+      ++j;
+      assert(j <= num_values_ && "no 1 in A — impossible");
+    }
+    std::uint32_t val = j;
+    for (std::uint32_t down = j; down-- > 1;) {
+      const std::uint8_t bit = co_await Env::read_bit(a_, down);
+      if (bit == 1) val = down;
+    }
+    co_return val;
+  }
+
+  /// WriteMax(v): absorbed unless v exceeds every previously written value
+  /// (tracked in the writer's local state); then Algorithm 1's Write, whose
+  /// downward clearing pass erases the previous maximum's bit.
+  Op<std::uint32_t> write_max(int pid, std::uint32_t value) {
+    assert(pid == writer_pid_);
+    (void)pid;
+    assert(value >= 1 && value <= num_values_);
+    if (value <= local_max_) co_return 0;  // absorbed: no memory footprint
+    local_max_ = value;
+    co_await Env::write_bit(a_, value, 1);
+    for (std::uint32_t j = value; j-- > 1;) {
+      co_await Env::write_bit(a_, j, 0);
+    }
+    co_return 0;
+  }
+
+  /// Observer-side memory image (A[1..K]); never a step of the model.
+  void encode_memory(std::vector<std::uint8_t>& out) const {
+    for (std::uint32_t v = 1; v <= num_values_; ++v) {
+      out.push_back(Env::peek_bit(a_, v));
+    }
+  }
+
+  std::uint32_t num_values() const { return num_values_; }
+  int writer_pid() const { return writer_pid_; }
+  int reader_pid() const { return reader_pid_; }
+
+ private:
+  std::uint32_t num_values_;
+  int writer_pid_;
+  int reader_pid_;
+  std::uint32_t local_max_;  // writer-local; not part of mem(C)
+  typename Env::BinArray a_;
+};
+
+}  // namespace hi::algo

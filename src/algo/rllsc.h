@@ -7,7 +7,10 @@
 // is therefore exactly the encoding of the abstract state — no auxiliary
 // information exists — which is why the implementation is perfect HI.
 // LL, SC and RL are CAS retry loops and hence only lock-free; VL, Load and
-// Store are single primitives. The interleaved-LL entry point realizes
+// Store are single primitives. The retry loops use the environment's
+// failure-word CAS (Env::cas returns the word it observed), so a failed
+// retry costs ONE 16-byte atomic on hardware — not a CAS plus a re-read —
+// and one simulator step; the sim step-exact tests pin this sequence. The interleaved-LL entry point realizes
 // Algorithm 5's `‖` construction: between successive CAS attempts of a
 // (possibly blocking) LL, one step of the caller-provided right-hand-side
 // poll runs, and a true poll abandons the LL (leaving at most a context
@@ -41,32 +44,36 @@ class CasRllscAlg {
       : cell_(Env::make_cas(ctx, std::move(name), initial)) {}
 
   /// LL(O) — lines 1–6: CAS-install the caller's context bit, retrying on
-  /// interference. Lock-free; may run forever under contention.
+  /// interference. Lock-free; may run forever under contention. A failed CAS
+  /// reports the word it observed, which becomes the next attempt's
+  /// expectation — one primitive per retry, no separate re-read.
   Sub<V> ll(int pid) {
     Word cur = co_await Env::cas_read(cell_);
     for (;;) {
       Word linked = cur;
       linked.ctx = util::set_bit(linked.ctx, bit(pid));
-      const bool installed = co_await Env::cas(cell_, cur, linked);
-      if (installed) co_return cur.value;
-      cur = co_await Env::cas_read(cell_);
+      const CasResult<Word> r = co_await Env::cas(cell_, cur, linked);
+      if (r.installed) co_return cur.value;
+      cur = r.observed;
     }
   }
 
   /// LL with Algorithm 5's `‖` right-hand side: after every failed CAS
   /// attempt run one poll; a true poll abandons the LL and yields nullopt.
-  /// `poll` is a nullary callable returning an awaitable of bool.
+  /// `poll` is a nullary callable returning an awaitable of bool. The next
+  /// attempt reuses the failed CAS's observed word (any write racing with
+  /// the poll just fails that CAS, which re-observes).
   template <typename Poll>
   Sub<std::optional<V>> ll_interleaved(int pid, Poll poll) {
     Word cur = co_await Env::cas_read(cell_);
     for (;;) {
       Word linked = cur;
       linked.ctx = util::set_bit(linked.ctx, bit(pid));
-      const bool installed = co_await Env::cas(cell_, cur, linked);
-      if (installed) co_return cur.value;
+      const CasResult<Word> r = co_await Env::cas(cell_, cur, linked);
+      if (r.installed) co_return cur.value;
       const bool bail = co_await poll();
       if (bail) co_return std::nullopt;
-      cur = co_await Env::cas_read(cell_);
+      cur = r.observed;
     }
   }
 
@@ -77,12 +84,13 @@ class CasRllscAlg {
   }
 
   /// SC(O, new) — lines 7–11: succeeds iff the caller is still linked.
+  /// Failed CAS attempts feed their observed word into the re-check.
   Sub<bool> sc(int pid, V desired) {
     Word cur = co_await Env::cas_read(cell_);
     while (util::test_bit(cur.ctx, bit(pid))) {
-      const bool swapped = co_await Env::cas(cell_, cur, Word{desired, 0});
-      if (swapped) co_return true;
-      cur = co_await Env::cas_read(cell_);
+      const CasResult<Word> r = co_await Env::cas(cell_, cur, Word{desired, 0});
+      if (r.installed) co_return true;
+      cur = r.observed;
     }
     co_return false;
   }
@@ -93,9 +101,9 @@ class CasRllscAlg {
     while (util::test_bit(cur.ctx, bit(pid))) {
       Word released = cur;
       released.ctx = util::clear_bit(released.ctx, bit(pid));
-      const bool swapped = co_await Env::cas(cell_, cur, released);
-      if (swapped) co_return true;
-      cur = co_await Env::cas_read(cell_);
+      const CasResult<Word> r = co_await Env::cas(cell_, cur, released);
+      if (r.installed) co_return true;
+      cur = r.observed;
     }
     co_return true;
   }

@@ -35,6 +35,11 @@
 // (full 64-bit abstract states), RllscWordCodec<uint64_t> is the hardware
 // packing (states ≤ 32 bits, responses ≤ 24 bits, ≤ 64 processes — the
 // DESIGN substitution documented at Atomic128).
+//
+// This body contains no CAS retry loop of its own — every retry lives in
+// the R-LLSC cell it is composed over, so when Cell = CasRllscAlg the
+// failure-word CAS (docs/ENV.md) applies to all of Algorithm 5's LL/SC/RL
+// traffic: one atomic per failed low-level retry, on both backends.
 #pragma once
 
 #include <cassert>

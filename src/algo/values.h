@@ -32,4 +32,20 @@ struct CtxWord {
   friend bool operator==(const CtxWord&, const CtxWord&) = default;
 };
 
+/// Result of a failure-word CAS (Env::cas / Env::cas_word): `installed` says
+/// whether the swap was applied; `observed` is the word the cell held
+/// immediately before the CAS executed (== expected iff installed). Retry
+/// loops feed `observed` straight into the next attempt's expectation, so a
+/// failed retry costs ONE primitive instead of a CAS followed by a re-read —
+/// the hardware gets this for free (compare_exchange writes the current word
+/// back into `expected` on failure), and the simulator models it as a single
+/// atomic step of the same "cas" primitive kind.
+template <typename W>
+struct CasResult {
+  bool installed = false;
+  W observed{};
+
+  friend bool operator==(const CasResult&, const CasResult&) = default;
+};
+
 }  // namespace hi::algo

@@ -1,164 +1,23 @@
-// Non-history-independent universal construction baseline (experiment E13).
+// Non-history-independent universal construction baseline (experiment E13) —
+// simulator instantiation.
 //
-// Prior universal constructions [Herlihy '90/'93; Fatourou–Kallimanis '11]
-// are linearizable and wait-free but leak history: "the implementation in
-// [27] explicitly keeps track of all the operations that have ever been
-// invoked, while the implementations in [26, 28] store information that
-// depends on the sequence of applied operations … [19] keeps information
-// about completed operations, such as their responses, and is therefore not
-// history independent" (§6 related work).
-//
-// This baseline follows the Fatourou–Kallimanis shape: the full object state
-// lives in ONE big CAS cell together with a version counter and a per-process
-// (sequence, response) table; announcements are never cleared. It is
-// linearizable and wait-free (helping with priority rotation, like
-// Algorithm 5), but at quiescence the memory still reveals:
-//   * the total number of state-changing operations ever applied (version),
-//   * each process's most recent operation (announce, never cleared),
-//   * each process's most recent response (response table in the cell).
-// The HI checker rejects it on exactly these fields; Algorithm 5 passes the
-// same workloads.
+// Single-source: the algorithm body lives in algo/leaky_universal.h
+// (LeakyUniversalAlg, with the full Fatourou–Kallimanis commentary and the
+// exact list of leaked fields), templated over the execution environment and
+// the sequential specification; this file pins the environment to SimEnv.
+// The hardware instantiation of the SAME body is rt::RtLeakyUniversal
+// (src/rt/baselines_rt.h).
 #pragma once
 
-#include <cassert>
-#include <cstdint>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "sim/base_object.h"
+#include "algo/leaky_universal.h"
+#include "env/sim_env.h"
 #include "sim/memory.h"
 #include "sim/task.h"
 #include "spec/spec.h"
 
 namespace hi::baseline {
 
-/// The big CAS word: abstract state + version + per-process results.
-struct FkWord {
-  std::uint64_t state = 0;
-  std::uint64_t version = 0;
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> results;  // (seq, rsp)
-
-  friend bool operator==(const FkWord&, const FkWord&) = default;
-};
-
-/// Single CAS cell over FkWord — the "single memory cell" of [19].
-class FkCell : public sim::BaseObject {
- public:
-  FkCell(std::string name, FkWord initial)
-      : BaseObject(std::move(name)), word_(std::move(initial)) {}
-
-  auto read() {
-    return sim::Primitive{id(), "read", [this] { return word_; }};
-  }
-  auto cas(FkWord expected, FkWord desired) {
-    return sim::Primitive{id(), "cas",
-                          [this, expected = std::move(expected),
-                           desired = std::move(desired)] {
-                            if (!(word_ == expected)) return false;
-                            word_ = desired;
-                            return true;
-                          }};
-  }
-
-  void encode_state(std::vector<std::uint64_t>& out) const override {
-    out.push_back(word_.state);
-    out.push_back(word_.version);
-    for (const auto& [seq, rsp] : word_.results) {
-      out.push_back((seq << 32) | rsp);
-    }
-  }
-  std::string describe() const override {
-    return name() + "=(q=" + std::to_string(word_.state) +
-           ",ver=" + std::to_string(word_.version) + ")";
-  }
-
-  const FkWord& peek() const { return word_; }
-
- private:
-  FkWord word_;
-};
-
 template <spec::SequentialSpec S>
-class LeakyUniversal {
- public:
-  using Op = typename S::Op;
-  using Resp = typename S::Resp;
-
-  LeakyUniversal(sim::Memory& memory, const S& spec, int num_processes)
-      : spec_(spec), n_(num_processes) {
-    FkWord initial;
-    initial.state = spec.encode_state(spec.initial_state());
-    initial.results.assign(n_, {0, 0});
-    head_ = &memory.make<FkCell>("fk-head", std::move(initial));
-    announce_.reserve(n_);
-    for (int i = 0; i < n_; ++i) {
-      announce_.push_back(&memory.make<sim::CasCell>(
-          "fk-announce[" + std::to_string(i) + "]", 0));
-    }
-    local_seq_.assign(n_, 0);
-    priority_.resize(n_);
-    for (int i = 0; i < n_; ++i) priority_[i] = i;
-  }
-
-  sim::OpTask<Resp> apply(int pid, Op op) {
-    if (spec_.is_read_only(op)) return apply_read_only(pid, op);
-    return apply_update(pid, op);
-  }
-
-  sim::OpTask<Resp> apply_read_only(int pid, Op op) {
-    (void)pid;
-    const FkWord word = co_await head_->read();
-    const auto [state_after, rsp] =
-        spec_.apply(spec_.decode_state(word.state), op);
-    (void)state_after;
-    co_return rsp;
-  }
-
-  sim::OpTask<Resp> apply_update(int pid, Op op) {
-    assert(pid >= 0 && pid < n_);
-    const std::uint64_t seq = ++local_seq_[pid];
-    // Announce (seq, op) — never cleared: the leak.
-    co_await announce_[pid]->write((seq << 32) | spec_.encode_op(op));
-
-    for (;;) {
-      const FkWord word = co_await head_->read();
-      if (word.results[pid].first == seq) {
-        co_return spec_.decode_resp(word.results[pid].second);  // applied
-      }
-      // Help the rotating candidate if it has an unapplied announcement;
-      // otherwise apply our own operation.
-      int target = priority_[pid];
-      std::uint64_t ann = co_await announce_[target]->read();
-      if (ann == 0 || (ann >> 32) <= word.results[target].first) {
-        target = pid;
-        ann = (seq << 32) | spec_.encode_op(op);
-      }
-      const std::uint64_t ann_seq = ann >> 32;
-      if (ann_seq <= word.results[target].first) continue;  // already done
-      const auto [next_state, rsp] = spec_.apply(
-          spec_.decode_state(word.state),
-          spec_.decode_op(static_cast<std::uint32_t>(ann & 0xffffffffu)));
-      FkWord desired = word;
-      desired.state = spec_.encode_state(next_state);
-      desired.version = word.version + 1;
-      desired.results[target] = {ann_seq, spec_.encode_resp(rsp)};
-      const bool installed = co_await head_->cas(word, desired);
-      if (installed) priority_[pid] = (priority_[pid] + 1) % n_;
-    }
-  }
-
-  // Observer-side introspection.
-  std::uint64_t head_state_encoded() const { return head_->peek().state; }
-  std::uint64_t version() const { return head_->peek().version; }
-
- private:
-  const S& spec_;
-  int n_;
-  FkCell* head_ = nullptr;
-  std::vector<sim::CasCell*> announce_;
-  std::vector<std::uint64_t> local_seq_;
-  std::vector<int> priority_;
-};
+using LeakyUniversal = algo::LeakyUniversalAlg<env::SimEnv, S>;
 
 }  // namespace hi::baseline

@@ -1,45 +1,29 @@
-// Wait-free perfect-HI set over {1..t} from t binary registers (§5.1).
+// Wait-free perfect-HI set over {1..t} from t binary registers (§5.1) —
+// simulator instantiation.
 //
-// The set is the paper's example of an object escaping class C_t despite
-// having 2^t states: its operations return only success/failure, so no
-// single operation distinguishes t states, and the impossibility result
-// does not apply. "There is a simple wait-free perfect HI implementation …
-// we simply represent the set as an array S of length t, with S[i] = 1 if
-// and only if element i is in the set, with the obvious implementation."
-//
-// Every operation is a single primitive, so every configuration's memory is
-// exactly the membership bitmap of the current abstract state: perfect HI
-// per Definition 5 (and trivially consistent with Proposition 6 — adjacent
-// states differ in exactly one base object). Fully multi-writer/multi-reader
-// and wait-free.
+// Single-source: the algorithm body lives in algo/hi_set.h (HiSetAlg),
+// templated over the execution environment; this file pins the environment
+// to SimEnv, preserving the seed interface (the spec supplies the domain and
+// the initial membership bitmap). The hardware instantiation of the SAME
+// body is rt::RtHiSet.
 #pragma once
 
-#include <cassert>
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "sim/base_object.h"
+#include "algo/hi_set.h"
+#include "env/sim_env.h"
 #include "sim/memory.h"
 #include "sim/task.h"
 #include "spec/set_spec.h"
 
 namespace hi::core {
 
-class HiSet {
+class HiSet : public algo::HiSetAlg<env::SimEnv> {
  public:
+  using Base = algo::HiSetAlg<env::SimEnv>;
   using Op = spec::SetSpec::Op;
   using Resp = spec::SetSpec::Resp;
 
   HiSet(sim::Memory& memory, const spec::SetSpec& spec)
-      : domain_(spec.domain()) {
-    slots_.reserve(domain_);
-    for (std::uint32_t v = 1; v <= domain_; ++v) {
-      slots_.push_back(&memory.make<sim::BinaryRegister>(
-          "S[" + std::to_string(v) + "]",
-          (spec.initial_state() >> (v - 1)) & 1));
-    }
-  }
+      : Base(memory, spec.domain(), spec.initial_state()) {}
 
   sim::OpTask<Resp> apply(int pid, Op op) {
     (void)pid;  // fully symmetric: any process may invoke anything
@@ -50,28 +34,6 @@ class HiSet {
     }
     return lookup(op.value);  // unreachable
   }
-
-  sim::OpTask<Resp> insert(std::uint32_t value) {
-    co_await slot(value).write(1);
-    co_return true;
-  }
-  sim::OpTask<Resp> remove(std::uint32_t value) {
-    co_await slot(value).write(0);
-    co_return true;
-  }
-  sim::OpTask<Resp> lookup(std::uint32_t value) {
-    const std::uint8_t bit = co_await slot(value).read();
-    co_return bit == 1;
-  }
-
- private:
-  sim::BinaryRegister& slot(std::uint32_t v) {
-    assert(v >= 1 && v <= domain_);
-    return *slots_[v - 1];
-  }
-
-  std::uint32_t domain_;
-  std::vector<sim::BinaryRegister*> slots_;
 };
 
 }  // namespace hi::core

@@ -1,48 +1,31 @@
-// Wait-free state-quiescent-HI max register from binary registers (§5.1).
+// Wait-free state-quiescent-HI max register from binary registers (§5.1) —
+// simulator instantiation.
 //
-// The paper uses the max register to illustrate the state-connectivity
-// requirement of class C_t: its state graph is not strongly connected (once
-// the maximum reaches m it can never drop below m), so Theorem 17 does not
-// apply — and indeed "a simple modification to Algorithm 1, where the writer
-// only writes to A if the new value is bigger than all the values it has
-// written in the past, results in a wait-free state-quiescent HI max
-// register from binary registers."
-//
-// With monotone writes, Algorithm 1's downward clearing already erases the
-// previous maximum's bit, so at any state-quiescent point A = e_m for the
-// current maximum m: the canonical representation. ReadMax is Algorithm 1's
-// read, wait-free because the cell holding the maximum is never cleared.
+// Single-source: the algorithm body lives in algo/max_register.h
+// (HiMaxRegisterAlg), templated over the execution environment; this file
+// pins the environment to SimEnv, preserving the seed interface (the spec
+// supplies K and the initial maximum; reads and writes are pid-checked
+// SWSR). The hardware instantiation of the SAME body is rt::RtMaxRegister.
 #pragma once
 
-#include <cassert>
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "sim/base_object.h"
+#include "algo/max_register.h"
+#include "env/sim_env.h"
 #include "sim/memory.h"
 #include "sim/task.h"
 #include "spec/max_register_spec.h"
 
 namespace hi::core {
 
-class HiMaxRegister {
+class HiMaxRegister : public algo::HiMaxRegisterAlg<env::SimEnv> {
  public:
+  using Base = algo::HiMaxRegisterAlg<env::SimEnv>;
   using Op = spec::MaxRegisterSpec::Op;
   using Resp = spec::MaxRegisterSpec::Resp;
 
   HiMaxRegister(sim::Memory& memory, const spec::MaxRegisterSpec& spec,
                 int writer_pid, int reader_pid)
-      : num_values_(spec.num_values()),
-        writer_pid_(writer_pid),
-        reader_pid_(reader_pid),
-        local_max_(spec.initial_state()) {
-    slots_.reserve(num_values_);
-    for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      slots_.push_back(&memory.make<sim::BinaryRegister>(
-          "A[" + std::to_string(v) + "]", v == spec.initial_state()));
-    }
-  }
+      : Base(memory, spec.num_values(), spec.initial_state(), writer_pid,
+             reader_pid) {}
 
   sim::OpTask<Resp> apply(int pid, Op op) {
     if (op.kind == spec::MaxRegisterSpec::Kind::kReadMax) {
@@ -50,59 +33,6 @@ class HiMaxRegister {
     }
     return write_max(pid, op.value);
   }
-
-  /// ReadMax: Algorithm 1's Read. The up-scan terminates because the bit of
-  /// the current maximum is never cleared; the down-scan can only land on a
-  /// larger-or-equal... (values below the max are always 0 at rest, and a
-  /// concurrent monotone write only moves the 1 upward).
-  sim::OpTask<Resp> read_max(int pid) {
-    assert(pid == reader_pid_);
-    (void)pid;
-    std::uint32_t j = 1;
-    for (;;) {
-      const std::uint8_t bit = co_await slot(j).read();
-      if (bit == 1) break;
-      ++j;
-      assert(j <= num_values_ && "no 1 in A — impossible");
-    }
-    std::uint32_t val = j;
-    for (std::uint32_t down = j; down-- > 1;) {
-      const std::uint8_t bit = co_await slot(down).read();
-      if (bit == 1) val = down;
-    }
-    co_return val;
-  }
-
-  /// WriteMax(v): absorbed unless v exceeds every previously written value
-  /// (tracked in the writer's local state); then Algorithm 1's Write, whose
-  /// downward clearing pass erases the previous maximum's bit.
-  sim::OpTask<Resp> write_max(int pid, std::uint32_t value) {
-    assert(pid == writer_pid_);
-    (void)pid;
-    assert(value >= 1 && value <= num_values_);
-    if (value <= local_max_) co_return 0;  // absorbed: no memory footprint
-    local_max_ = value;
-    co_await slot(value).write(1);
-    for (std::uint32_t j = value; j-- > 1;) {
-      co_await slot(j).write(0);
-    }
-    co_return 0;
-  }
-
-  int writer_pid() const { return writer_pid_; }
-  int reader_pid() const { return reader_pid_; }
-
- private:
-  sim::BinaryRegister& slot(std::uint32_t v) {
-    assert(v >= 1 && v <= num_values_);
-    return *slots_[v - 1];
-  }
-
-  std::uint32_t num_values_;
-  int writer_pid_;
-  int reader_pid_;
-  std::uint32_t local_max_;  // writer-local; not part of mem(C)
-  std::vector<sim::BinaryRegister*> slots_;
 };
 
 }  // namespace hi::core

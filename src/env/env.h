@@ -16,17 +16,29 @@
 //                               completion synchronously inside the call;
 //   BinArray + read_bit/write_bit/peek_bit
 //                             — an array of binary (Boolean) registers, the
-//                               small base objects of the §4 algorithms;
+//                               small base objects of the §4/§5.1 algorithms;
 //   Value, CasCell + cas_read/cas/cas_write/peek_cas
 //                             — one CAS base object over CtxWord<Value>, the
-//                               base object of Algorithm 6 (§6.3).
+//                               base object of Algorithm 6 (§6.3);
+//   WordArray + read_word/write_word/cas_word/peek_word
+//                             — an array of 64-bit CAS words, the
+//                               per-process announce/result tables of the
+//                               leaky (non-HI) universal baseline.
 //
-// read_bit/write_bit/cas_read/cas/cas_write return AWAITABLES: in the
-// simulator each is a sim::Primitive that suspends until the scheduler
-// grants the process its step; on hardware each is a Ready awaiter that
-// executes the std::atomic operation immediately in await_resume. The
+// read_bit/write_bit/cas_read/cas/cas_write/read_word/write_word/cas_word
+// return AWAITABLES: in the simulator each is a sim::Primitive that suspends
+// until the scheduler grants the process its step; on hardware each is a
+// Ready awaiter that executes the std::atomic operation immediately in
+// await_resume. Each awaitable costs exactly ONE primitive step — in
+// particular cas/cas_word are failure-word CASes (the result is an
+// algo::CasResult carrying the word observed at the step), so retry loops
+// cost one primitive per attempt rather than a CAS plus a re-read. The
 // peek_* functions are observer-side (never a step of the model) and are
 // what memory_image()/parity checks are built from.
+//
+// The full contract — memory-step semantics, the one-resume-one-step
+// invariant in SimEnv, the EagerTask rules in RtEnv, and how to add a
+// backend — is documented in docs/ENV.md.
 //
 // The payoff: one algorithm definition gets exhaustive interleaving checks
 // and HI model checking from the SimEnv instantiation, and real-thread
@@ -95,6 +107,7 @@ concept ExecutionEnv = requires {
   typename E::BinArray;
   typename E::Value;
   typename E::CasCell;
+  typename E::WordArray;
   typename E::template Op<int>;
   typename E::template Sub<int>;
 };

@@ -102,10 +102,13 @@ struct RtEnv {
   template <typename T>
   using Sub = EagerTask<T>;
 
-  // ---- binary registers ----
+  // ---- binary registers (the §4/§5.1 base objects) ----
 
   using BinArray = std::vector<util::Padded<std::atomic<std::uint8_t>>>;
 
+  /// Allocates `count` cache-line-padded atomic bytes; slot `one_index`
+  /// (1-based; 0 = none) starts at 1. Construction only — no shared-memory
+  /// step, and the pre-publication stores are unordered (relaxed).
   static BinArray make_bin_array(Ctx, const char* /*prefix*/,
                                  std::uint32_t count, std::uint32_t one_index) {
     BinArray array(count);
@@ -116,11 +119,26 @@ struct RtEnv {
     return array;
   }
 
+  /// As make_bin_array, but slot v starts at bit (v-1) of `bits` (the §5.1
+  /// HI set's bitmap initialization). Construction only.
+  static BinArray make_bin_array_bits(Ctx, const char* /*prefix*/,
+                                      std::uint32_t count, std::uint64_t bits) {
+    BinArray array(count);
+    for (std::uint32_t v = 1; v <= count; ++v) {
+      array[v - 1]->store(((bits >> (v - 1)) & 1) != 0 ? 1 : 0,
+                          std::memory_order_seq_cst);
+    }
+    return array;
+  }
+
+  /// read(A[index]) — one seq_cst atomic load; models 1 binary-register-read
+  /// step of the paper's model. `index` is 1-based (the paper's A[v]).
   static auto read_bit(BinArray& array, std::uint32_t index) {
     return detail::Ready{[cell = &*array[index - 1]] {
       return cell->load(std::memory_order_seq_cst);
     }};
   }
+  /// write(A[index], value) — one seq_cst atomic store; 1 step.
   static auto write_bit(BinArray& array, std::uint32_t index,
                         std::uint8_t value) {
     return detail::Ready{[cell = &*array[index - 1], value] {
@@ -128,6 +146,8 @@ struct RtEnv {
       return true;
     }};
   }
+  /// Observer-side peek — not an algorithm step; only meaningful at
+  /// quiescence unless the caller tolerates racing reads.
   static std::uint8_t peek_bit(const BinArray& array, std::uint32_t index) {
     return array[index - 1]->load(std::memory_order_seq_cst);
   }
@@ -144,35 +164,88 @@ struct RtEnv {
     explicit CasCell(rt::Word128 initial) : word(initial) {}
   };
 
+  /// Construction only — no shared-memory step.
   static CasCell make_cas(Ctx, const std::string& /*name*/, Value initial) {
     return CasCell{rt::Word128{initial, 0}};
   }
 
+  /// Read(X) — one seq_cst 16-byte atomic load; 1 step of the model.
   static auto cas_read(CasCell& cell) {
     return detail::Ready{[&cell] {
       const rt::Word128 w = cell.word.load();
       return Word{w.value, w.ctx};
     }};
   }
+  /// CAS(X, expected, desired) — one CMPXCHG16B; 1 step. Failure-word
+  /// semantics come for free: compare_exchange writes the current word back
+  /// into `expected` on failure, and that word is returned as `observed`.
   static auto cas(CasCell& cell, const Word& expected, const Word& desired) {
     return detail::Ready{[&cell, expected, desired] {
       rt::Word128 want{expected.value, expected.ctx};
-      return cell.word.compare_exchange(want,
-                                        rt::Word128{desired.value, desired.ctx});
+      const bool installed = cell.word.compare_exchange(
+          want, rt::Word128{desired.value, desired.ctx});
+      return algo::CasResult<Word>{installed, Word{want.value, want.ctx}};
     }};
   }
+  /// Write(X, desired) — one seq_cst 16-byte atomic store; 1 step.
   static auto cas_write(CasCell& cell, const Word& desired) {
     return detail::Ready{[&cell, desired] {
       cell.word.store(rt::Word128{desired.value, desired.ctx});
       return true;
     }};
   }
+  /// Observer-side peek — not an algorithm step.
   static Word peek_cas(const CasCell& cell) {
     const rt::Word128 w = cell.word.load();
     return Word{w.value, w.ctx};
   }
+  /// False iff libatomic fell back to a lock table (no CMPXCHG16B).
   static bool cas_is_lock_free(const CasCell& cell) {
     return cell.word.is_lock_free();
+  }
+
+  // ---- arrays of 64-bit CAS words (per-process announce/result tables) ----
+
+  using WordArray = std::vector<util::Padded<std::atomic<std::uint64_t>>>;
+
+  /// Allocates `count` cache-line-padded atomic words, all starting at
+  /// `initial`. 0-based indices (per-process cells keyed by pid).
+  /// Construction only.
+  static WordArray make_word_array(Ctx, const char* /*prefix*/,
+                                   std::uint32_t count, std::uint64_t initial) {
+    WordArray array(count);
+    for (auto& cell : array) cell->store(initial, std::memory_order_seq_cst);
+    return array;
+  }
+
+  /// read(W[index]) — one seq_cst atomic load; 1 step.
+  static auto read_word(WordArray& array, std::uint32_t index) {
+    return detail::Ready{[cell = &*array[index]] {
+      return cell->load(std::memory_order_seq_cst);
+    }};
+  }
+  /// write(W[index], value) — one seq_cst atomic store; 1 step.
+  static auto write_word(WordArray& array, std::uint32_t index,
+                         std::uint64_t value) {
+    return detail::Ready{[cell = &*array[index], value] {
+      cell->store(value, std::memory_order_seq_cst);
+      return true;
+    }};
+  }
+  /// CAS(W[index], expected, desired) — one LOCK CMPXCHG; 1 step,
+  /// failure-word semantics as for cas().
+  static auto cas_word(WordArray& array, std::uint32_t index,
+                       std::uint64_t expected, std::uint64_t desired) {
+    return detail::Ready{[cell = &*array[index], expected, desired] {
+      std::uint64_t want = expected;
+      const bool installed = cell->compare_exchange_strong(
+          want, desired, std::memory_order_seq_cst);
+      return algo::CasResult<std::uint64_t>{installed, want};
+    }};
+  }
+  /// Observer-side peek — not an algorithm step.
+  static std::uint64_t peek_word(const WordArray& array, std::uint32_t index) {
+    return array[index]->load(std::memory_order_seq_cst);
   }
 };
 

@@ -1,13 +1,14 @@
 // SimEnv: the simulated asynchronous shared-memory backend of the Env
-// abstraction (see env.h).
+// abstraction (see env.h and docs/ENV.md).
 //
 // Wraps the existing sim::Primitive awaiters and BaseObject state encoding:
-// every read_bit/write_bit/cas_read/cas/cas_write returns the base object's
-// own Primitive awaiter, so one scheduler resume still executes exactly one
-// primitive (§2's step granularity) and mem(C) snapshots, object ids and
-// primitive kinds are byte-identical to the pre-Env implementations — the
-// HI checker, the adversaries and the exhaustive explorer all keep working
-// unchanged over the single-source algorithms.
+// every read_bit/write_bit/cas_read/cas/cas_write/read_word/write_word/
+// cas_word returns the base object's own Primitive awaiter, so one scheduler
+// resume still executes exactly one primitive (§2's step granularity) and
+// mem(C) snapshots, object ids and primitive kinds are byte-identical to the
+// pre-Env implementations — the HI checker, the adversaries and the
+// exhaustive explorer all keep working unchanged over the single-source
+// algorithms.
 #pragma once
 
 #include <cstdint>
@@ -30,13 +31,14 @@ struct SimEnv {
   template <typename T>
   using Sub = sim::SubTask<T>;
 
-  // ---- binary registers (the §4 base objects) ----
+  // ---- binary registers (the §4/§5.1 base objects) ----
 
   using BinArray = std::vector<sim::BinaryRegister*>;
 
   /// Registers `count` binary registers named "<prefix>[1..count]" in the
   /// Memory (which owns them); slot `one_index` (1-based; 0 = none) starts
   /// at 1. Registration order == mem(C) layout order, as before.
+  /// Construction only — never a step of the model.
   static BinArray make_bin_array(Ctx memory, const char* prefix,
                                  std::uint32_t count, std::uint32_t one_index) {
     BinArray array;
@@ -49,13 +51,34 @@ struct SimEnv {
     return array;
   }
 
+  /// As make_bin_array, but slot v starts at bit (v-1) of `bits` — the
+  /// bitmap initialization the §5.1 HI set needs (arbitrary initial
+  /// membership rather than a single one-hot slot). Construction only.
+  static BinArray make_bin_array_bits(Ctx memory, const char* prefix,
+                                      std::uint32_t count, std::uint64_t bits) {
+    BinArray array;
+    array.reserve(count);
+    for (std::uint32_t v = 1; v <= count; ++v) {
+      array.push_back(&memory.make<sim::BinaryRegister>(
+          std::string(prefix) + "[" + std::to_string(v) + "]",
+          ((bits >> (v - 1)) & 1) != 0));
+    }
+    return array;
+  }
+
+  /// read(A[index]) — exactly 1 primitive step (the paper's binary-register
+  /// read). `index` is 1-based, matching the paper's A[v] notation.
   static auto read_bit(BinArray& array, std::uint32_t index) {
     return array[index - 1]->read();
   }
+  /// write(A[index], value) — exactly 1 primitive step (binary-register
+  /// write; the only mutation primitive of Algorithms 1–4).
   static auto write_bit(BinArray& array, std::uint32_t index,
                         std::uint8_t value) {
     return array[index - 1]->write(value);
   }
+  /// Observer-side peek — 0 steps, never part of an execution; feeds
+  /// encode_memory()/parity checks only.
   static std::uint8_t peek_bit(const BinArray& array, std::uint32_t index) {
     return array[index - 1]->peek();
   }
@@ -66,28 +89,83 @@ struct SimEnv {
   using Word = algo::CtxWord<Value>;
   using CasCell = sim::WideCasCell*;
 
+  /// Registers the (wide) CAS base object in the Memory. Construction only.
   static CasCell make_cas(Ctx memory, std::string name, Value initial) {
     return &memory.make<sim::WideCasCell>(
         std::move(name), sim::WideWord{initial.lo, initial.hi, 0});
   }
 
+  /// Read(X) on the CAS object — 1 primitive step (§2: CAS objects support
+  /// standard reads).
   static auto cas_read(CasCell& cell) {
     return detail::MapAwait{cell->read(), [](sim::WideWord w) {
                               return Word{{w.lo, w.hi}, w.ctx};
                             }};
   }
+  /// CAS(X, expected, desired) — 1 primitive step. Failure-word semantics:
+  /// the result carries the word observed at the step, so a retry loop pays
+  /// one primitive per attempt (no separate re-read; see docs/ENV.md).
   static auto cas(CasCell& cell, const Word& expected, const Word& desired) {
-    return cell->cas(to_wide(expected), to_wide(desired));
+    return detail::MapAwait{
+        cell->cas_observe(to_wide(expected), to_wide(desired)),
+        [](sim::WideCasObserved r) {
+          return algo::CasResult<Word>{
+              r.installed, Word{{r.observed.lo, r.observed.hi}, r.observed.ctx}};
+        }};
   }
+  /// Write(X, desired) — 1 primitive step (§2: CAS objects support writes).
   static auto cas_write(CasCell& cell, const Word& desired) {
     return cell->write(to_wide(desired));
   }
+  /// Observer-side peek of the full CAS word — 0 steps.
   static Word peek_cas(const CasCell& cell) {
     const sim::WideWord w = cell->peek();
     return Word{{w.lo, w.hi}, w.ctx};
   }
   /// The simulated CAS object is an atomic primitive by construction.
   static bool cas_is_lock_free(const CasCell&) { return true; }
+
+  // ---- arrays of 64-bit CAS words (per-process announce/result tables) ----
+
+  using WordArray = std::vector<sim::CasCell*>;
+
+  /// Registers `count` word-sized CAS cells named "<prefix>[0..count-1]"
+  /// (0-based: these model per-process cells indexed by pid, not the
+  /// paper's 1-based value slots). Construction only.
+  static WordArray make_word_array(Ctx memory, const char* prefix,
+                                   std::uint32_t count, std::uint64_t initial) {
+    WordArray array;
+    array.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      array.push_back(&memory.make<sim::CasCell>(
+          std::string(prefix) + "[" + std::to_string(i) + "]", initial));
+    }
+    return array;
+  }
+
+  /// read(W[index]) — 1 primitive step.
+  static auto read_word(WordArray& array, std::uint32_t index) {
+    return array[index]->read();
+  }
+  /// write(W[index], value) — 1 primitive step.
+  static auto write_word(WordArray& array, std::uint32_t index,
+                         std::uint64_t value) {
+    return array[index]->write(value);
+  }
+  /// CAS(W[index], expected, desired) — 1 primitive step, failure-word
+  /// semantics as for cas().
+  static auto cas_word(WordArray& array, std::uint32_t index,
+                       std::uint64_t expected, std::uint64_t desired) {
+    return detail::MapAwait{array[index]->cas_observe(expected, desired),
+                            [](sim::CasObserved r) {
+                              return algo::CasResult<std::uint64_t>{
+                                  r.installed, r.observed};
+                            }};
+  }
+  /// Observer-side peek — 0 steps.
+  static std::uint64_t peek_word(const WordArray& array, std::uint32_t index) {
+    return array[index]->peek();
+  }
 
  private:
   static sim::WideWord to_wide(const Word& word) {

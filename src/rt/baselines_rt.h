@@ -10,6 +10,11 @@
 //   RtLeakyUniversal — Fatourou–Kallimanis-shaped wait-free construction
 //                      whose version counter, announce and result tables are
 //                      never cleared: the non-HI baseline, rt edition.
+//                      Single-source: the algorithm body lives in
+//                      algo/leaky_universal.h (LeakyUniversalAlg),
+//                      instantiated here with RtEnv — the simulator
+//                      instantiation of the SAME body is
+//                      baseline::LeakyUniversal.
 #pragma once
 
 #include <atomic>
@@ -18,9 +23,9 @@
 #include <mutex>
 #include <vector>
 
-#include "rt/atomic128.h"
+#include "algo/leaky_universal.h"
+#include "env/rt_env.h"
 #include "spec/spec.h"
-#include "util/padded.h"
 
 namespace hi::rt {
 
@@ -84,6 +89,7 @@ class RtCasLoopObject {
 };
 
 /// Wait-free but leaky: version counter + immortal announce/result tables.
+/// Thin synchronous wrapper over the single-source LeakyUniversalAlg body.
 template <spec::SequentialSpec S>
 class RtLeakyUniversal {
  public:
@@ -91,110 +97,20 @@ class RtLeakyUniversal {
   using Resp = typename S::Resp;
 
   RtLeakyUniversal(const S& spec, int num_processes)
-      : spec_(spec),
-        n_(num_processes),
-        head_(Word128{spec.encode_state(spec.initial_state()), 0}),
-        announce_(num_processes),
-        result_(num_processes),
-        local_seq_(num_processes),
-        priority_(num_processes) {
-    for (int i = 0; i < n_; ++i) {
-      announce_[i]->store(0, std::memory_order_relaxed);
-      result_[i]->store(0, std::memory_order_relaxed);
-      *local_seq_[i] = 0;
-      *priority_[i] = i;
-    }
-  }
+      : alg_(env::RtEnv::Ctx{}, spec, num_processes) {}
 
-  Resp apply(int pid, Op op) {
-    if (spec_.is_read_only(op)) {
-      return spec_.apply(spec_.decode_state(head_.load().value & 0xffffffffu),
-                         op)
-          .second;
-    }
-    assert(pid >= 0 && pid < n_);
-    const std::uint64_t seq = ++*local_seq_[pid];
-    assert(seq <= 0xffffffu);
-    announce_[pid]->store((seq << 32) | spec_.encode_op(op),
-                          std::memory_order_seq_cst);  // never cleared: leak
+  Resp apply(int pid, Op op) { return alg_.apply(pid, op).get(); }
 
-    for (;;) {
-      Word128 head = head_.load();
-      // Persist the previously applied op's result before building on it.
-      if ((head.value >> 32) > 0) {  // version > 0: a last-applied record
-        const int last_pid = static_cast<int>((head.ctx >> 56) & 0x3fu);
-        const std::uint64_t last_seq = (head.ctx >> 32) & 0xffffffu;
-        const std::uint32_t last_rsp =
-            static_cast<std::uint32_t>(head.ctx & 0xffffffffu);
-        const std::uint64_t record = (last_seq << 32) | last_rsp;
-        // Monotone CAS: a plain guarded store would race with a helper
-        // persisting a NEWER record, rolling result[] backwards and enabling
-        // a double application — exactly the class of subtlety Algorithm 5's
-        // LL/SC response handshake is designed around.
-        std::uint64_t existing =
-            result_[last_pid]->load(std::memory_order_seq_cst);
-        while ((existing >> 32) < last_seq &&
-               !result_[last_pid]->compare_exchange_weak(
-                   existing, record, std::memory_order_seq_cst)) {
-        }
-      }
-      const std::uint64_t mine = result_[pid]->load(std::memory_order_seq_cst);
-      if ((mine >> 32) == seq) {
-        return spec_.decode_resp(
-            static_cast<std::uint32_t>(mine & 0xffffffffu));
-      }
-
-      // Pick a target: the rotating candidate if it has an unapplied
-      // announcement, else self.
-      int target = *priority_[pid];
-      std::uint64_t ann = announce_[target]->load(std::memory_order_seq_cst);
-      const std::uint64_t target_done =
-          result_[target]->load(std::memory_order_seq_cst) >> 32;
-      const bool target_in_head =
-          (head.value >> 32) > 0 &&
-          static_cast<int>((head.ctx >> 56) & 0x3fu) == target &&
-          ((head.ctx >> 32) & 0xffffffu) >= (ann >> 32);
-      if (ann == 0 || (ann >> 32) <= target_done || target_in_head) {
-        target = pid;
-        ann = (seq << 32) | spec_.encode_op(op);
-        const std::uint64_t my_done =
-            result_[pid]->load(std::memory_order_seq_cst) >> 32;
-        const bool mine_in_head =
-            (head.value >> 32) > 0 &&
-            static_cast<int>((head.ctx >> 56) & 0x3fu) == pid &&
-            ((head.ctx >> 32) & 0xffffffu) >= seq;
-        if (my_done >= seq || mine_in_head) continue;
-      }
-
-      const auto [next_state, rsp] = spec_.apply(
-          spec_.decode_state(head.value & 0xffffffffu),
-          spec_.decode_op(static_cast<std::uint32_t>(ann & 0xffffffffu)));
-      Word128 desired;
-      const std::uint64_t version = (head.value >> 32) + 1;
-      desired.value =
-          spec_.encode_state(next_state) | (version << 32);  // leak: version
-      desired.ctx = (static_cast<std::uint64_t>(target) << 56) |
-                    (((ann >> 32) & 0xffffffu) << 32) |
-                    spec_.encode_resp(rsp);  // leak: last op's (pid,seq,rsp)
-      if (head_.compare_exchange(head, desired)) {
-        *priority_[pid] = (*priority_[pid] + 1) % n_;
-      }
-    }
-  }
-
-  std::uint64_t version() const { return head_.load().value >> 32; }
+  // The leaks, quantified (observer-side; valid at quiescence).
+  std::uint64_t version() const { return alg_.version(); }
   std::uint64_t head_state_encoded() const {
-    return head_.load().value & 0xffffffffu;
+    return alg_.head_state_encoded();
   }
+  std::uint64_t peek_announce(int pid) const { return alg_.peek_announce(pid); }
+  std::uint64_t peek_result(int pid) const { return alg_.peek_result(pid); }
 
  private:
-  const S& spec_;
-  int n_;
-  Atomic128 head_;
-  std::vector<util::Padded<std::atomic<std::uint64_t>>> announce_;
-  std::vector<util::Padded<std::atomic<std::uint64_t>>> result_;
-  std::vector<util::Padded<std::uint64_t>> local_seq_;
-  std::vector<util::Padded<int>> priority_;
+  algo::LeakyUniversalAlg<env::RtEnv, S> alg_;
 };
 
 }  // namespace hi::rt

@@ -1,0 +1,44 @@
+// §5.1's perfect-HI set on real hardware: every operation is a single
+// seq_cst atomic access to one cache-line-padded binary cell, so the memory
+// is the membership bitmap after every instruction — perfect HI, wait-free,
+// fully multi-writer/multi-reader.
+//
+// Single-source: the algorithm body lives in algo/hi_set.h (HiSetAlg),
+// instantiated here with RtEnv. The simulator instantiation of the SAME
+// body is core::HiSet; memory_image() here matches the simulator's mem(C)
+// snapshot word-for-word after identical operation sequences
+// (tests/test_env_parity.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/hi_set.h"
+#include "env/rt_env.h"
+
+namespace hi::rt {
+
+class RtHiSet {
+ public:
+  explicit RtHiSet(std::uint32_t domain, std::uint64_t initial_bits = 0)
+      : alg_(env::RtEnv::Ctx{}, domain, initial_bits) {}
+
+  bool insert(std::uint32_t value) { return alg_.insert(value).get(); }
+  bool remove(std::uint32_t value) { return alg_.remove(value).get(); }
+  bool lookup(std::uint32_t value) { return alg_.lookup(value).get(); }
+
+  /// S[1..t] — the simulator's mem(C) layout order.
+  std::vector<std::uint8_t> memory_image() const {
+    std::vector<std::uint8_t> image;
+    image.reserve(alg_.domain());
+    alg_.encode_memory(image);
+    return image;
+  }
+
+  std::uint32_t domain() const { return alg_.domain(); }
+
+ private:
+  algo::HiSetAlg<env::RtEnv> alg_;
+};
+
+}  // namespace hi::rt

@@ -1,0 +1,50 @@
+// §5.1's max register on real hardware: wait-free state-quiescent-HI
+// monotone register over cache-line-padded atomic binary cells.
+//
+// Single-source: the algorithm body lives in algo/max_register.h
+// (HiMaxRegisterAlg), instantiated here with RtEnv and wrapped in the
+// synchronous call-style interface the stress tests and benchmarks drive.
+// The simulator instantiation of the SAME body is core::HiMaxRegister;
+// memory_image() here matches the simulator's mem(C) snapshot
+// word-for-word after identical operation sequences (tests/test_env_parity).
+// SWSR like the §4 registers: exactly one writer thread and one reader
+// thread (identified by the pids fixed at construction) may operate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/max_register.h"
+#include "env/rt_env.h"
+
+namespace hi::rt {
+
+class RtMaxRegister {
+ public:
+  explicit RtMaxRegister(std::uint32_t num_values, std::uint32_t initial = 1,
+                         int writer_pid = 0, int reader_pid = 1)
+      : alg_(env::RtEnv::Ctx{}, num_values, initial, writer_pid, reader_pid) {}
+
+  /// ReadMax — reader thread only.
+  std::uint32_t read_max() { return alg_.read_max(alg_.reader_pid()).get(); }
+  /// WriteMax(v) — writer thread only; absorbed (zero atomics) if v ≤ the
+  /// running maximum.
+  void write_max(std::uint32_t value) {
+    (void)alg_.write_max(alg_.writer_pid(), value).get();
+  }
+
+  /// A[1..K] — the simulator's mem(C) layout order.
+  std::vector<std::uint8_t> memory_image() const {
+    std::vector<std::uint8_t> image;
+    image.reserve(alg_.num_values());
+    alg_.encode_memory(image);
+    return image;
+  }
+
+  std::uint32_t num_values() const { return alg_.num_values(); }
+
+ private:
+  algo::HiMaxRegisterAlg<env::RtEnv> alg_;
+};
+
+}  // namespace hi::rt

@@ -141,6 +141,13 @@ class WordRegister : public BaseObject {
   std::uint64_t value_;
 };
 
+/// Outcome of an observing CAS: success flag plus the word the cell held
+/// immediately before the primitive executed (== expected iff installed).
+struct CasObserved {
+  bool installed = false;
+  std::uint64_t observed = 0;
+};
+
 /// Atomic compare-and-swap cell over 64-bit values, supporting read and write
 /// as in §2 ("we assume that the CAS object supports standard read and write
 /// operations"). This is the base object of Algorithm 6.
@@ -164,6 +171,15 @@ class CasCell : public BaseObject {
                        if (value_ != expected) return false;
                        value_ = desired;
                        return true;
+                     }};
+  }
+  /// Failure-word CAS: the same single "cas" primitive, additionally
+  /// reporting the word observed, so retry loops need no separate re-read.
+  auto cas_observe(std::uint64_t expected, std::uint64_t desired) {
+    return Primitive{id(), "cas", [this, expected, desired] {
+                       const CasObserved result{value_ == expected, value_};
+                       if (result.installed) value_ = desired;
+                       return result;
                      }};
   }
 
@@ -195,6 +211,12 @@ struct WideWord {
   friend bool operator==(const WideWord&, const WideWord&) = default;
 };
 
+/// Outcome of an observing wide CAS (see CasObserved).
+struct WideCasObserved {
+  bool installed = false;
+  WideWord observed{};
+};
+
 /// Atomic CAS cell over WideWord — the base object of Algorithm 6 (§6.3).
 class WideCasCell : public BaseObject {
  public:
@@ -215,6 +237,15 @@ class WideCasCell : public BaseObject {
                        if (!(word_ == expected)) return false;
                        word_ = desired;
                        return true;
+                     }};
+  }
+  /// Failure-word CAS: one "cas" primitive that also reports the word it
+  /// observed, so Algorithm 6's retry loops need no separate re-read step.
+  auto cas_observe(WideWord expected, WideWord desired) {
+    return Primitive{id(), "cas", [this, expected, desired] {
+                       const WideCasObserved result{word_ == expected, word_};
+                       if (result.installed) word_ = desired;
+                       return result;
                      }};
   }
 

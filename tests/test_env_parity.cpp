@@ -11,12 +11,18 @@
 #include <cstdint>
 #include <vector>
 
+#include "baseline/leaky_universal.h"
 #include "core/hi_register_lockfree.h"
 #include "core/hi_register_waitfree.h"
+#include "core/hi_set.h"
+#include "core/max_register.h"
 #include "core/rllsc.h"
 #include "core/universal.h"
 #include "core/vidyasankar.h"
 #include "register_common.h"
+#include "rt/baselines_rt.h"
+#include "rt/hi_set_rt.h"
+#include "rt/max_register_rt.h"
 #include "rt/registers_rt.h"
 #include "rt/rllsc_rt.h"
 #include "rt/universal_rt.h"
@@ -24,7 +30,9 @@
 #include "sim/memory.h"
 #include "sim/scheduler.h"
 #include "spec/counter_spec.h"
+#include "spec/max_register_spec.h"
 #include "spec/register_spec.h"
+#include "spec/set_spec.h"
 #include "util/rng.h"
 
 namespace hi {
@@ -187,6 +195,120 @@ TEST(EnvParity, CasRllsc) {
     }
     expect_same_state(step);
   }
+}
+
+// ---- §5.1 max register: monotone writes over the same A[1..K] binary
+// array in both environments, so parity is word-for-word. Absorbed writes
+// must leave both memories untouched. ----
+
+TEST(EnvParity, MaxRegister) {
+  for (const std::uint64_t seed : {61u, 62u}) {
+    const std::uint32_t k = 8;
+    const spec::MaxRegisterSpec spec(k, 1);
+    sim::Memory memory;
+    sim::Scheduler sched(2);
+    core::HiMaxRegister sim_reg(memory, spec, testing::kWriterPid,
+                                testing::kReaderPid);
+    rt::RtMaxRegister rt_reg(k, 1, testing::kWriterPid, testing::kReaderPid);
+
+    EXPECT_EQ(snapshot_bytes(memory), rt_reg.memory_image());
+
+    util::Xoshiro256 rng(seed);
+    for (int step = 0; step < 200; ++step) {
+      if (rng.chance(1, 3)) {
+        const auto sim_got =
+            sim::run_solo(sched, testing::kReaderPid,
+                          sim_reg.read_max(testing::kReaderPid));
+        EXPECT_EQ(sim_got, rt_reg.read_max()) << "read diverges at " << step;
+      } else {
+        const auto value = static_cast<std::uint32_t>(rng.next_in(1, k));
+        (void)sim::run_solo(sched, testing::kWriterPid,
+                            sim_reg.write_max(testing::kWriterPid, value));
+        rt_reg.write_max(value);
+      }
+      ASSERT_EQ(snapshot_bytes(memory), rt_reg.memory_image())
+          << "memory diverges after op " << step;
+    }
+  }
+}
+
+// ---- §5.1 perfect-HI set: every operation is one primitive on the same
+// S[1..t] binary array, so parity is word-for-word after every op. ----
+
+TEST(EnvParity, HiSet) {
+  for (const std::uint64_t seed : {71u, 72u}) {
+    const std::uint32_t domain = 10;
+    const spec::SetSpec spec(domain);
+    sim::Memory memory;
+    sim::Scheduler sched(2);
+    core::HiSet sim_set(memory, spec);
+    rt::RtHiSet rt_set(domain, spec.initial_state());
+
+    EXPECT_EQ(snapshot_bytes(memory), rt_set.memory_image());
+
+    util::Xoshiro256 rng(seed);
+    for (int step = 0; step < 300; ++step) {
+      const auto v = static_cast<std::uint32_t>(rng.next_in(1, domain));
+      bool sim_got = false;
+      bool rt_got = false;
+      switch (rng.next_below(3)) {
+        case 0:
+          sim_got = sim::run_solo(sched, 0, sim_set.insert(v));
+          rt_got = rt_set.insert(v);
+          break;
+        case 1:
+          sim_got = sim::run_solo(sched, 0, sim_set.remove(v));
+          rt_got = rt_set.remove(v);
+          break;
+        default:
+          sim_got = sim::run_solo(sched, 0, sim_set.lookup(v));
+          rt_got = rt_set.lookup(v);
+          break;
+      }
+      EXPECT_EQ(sim_got, rt_got) << "response diverges at " << step;
+      ASSERT_EQ(snapshot_bytes(memory), rt_set.memory_image())
+          << "memory diverges after op " << step;
+    }
+  }
+}
+
+// ---- Leaky universal baseline: one single-source body, and the head codec
+// packs ⟨state, version, record⟩ identically on both backends, so parity
+// covers responses AND every decoded leak field (version, announce and
+// result tables) after every operation of an identical sequence. ----
+
+TEST(EnvParity, LeakyUniversalCounter) {
+  const spec::CounterSpec spec(1u << 20, 10);
+  const int n = 4;
+  sim::Memory memory;
+  sim::Scheduler sched(n);
+  baseline::LeakyUniversal<spec::CounterSpec> sim_obj(memory, spec, n);
+  rt::RtLeakyUniversal<spec::CounterSpec> rt_obj(spec, n);
+
+  util::Xoshiro256 rng(81);
+  for (int step = 0; step < 300; ++step) {
+    const int pid = static_cast<int>(rng.next_below(n));
+    spec::CounterSpec::Op op;
+    switch (rng.next_below(4)) {
+      case 0: op = spec::CounterSpec::read(); break;
+      case 1: op = spec::CounterSpec::dec(); break;
+      default: op = spec::CounterSpec::inc(); break;
+    }
+    const auto sim_got = sim::run_solo(sched, pid, sim_obj.apply(pid, op));
+    const auto rt_got = rt_obj.apply(pid, op);
+    EXPECT_EQ(sim_got, rt_got) << "response diverges at " << step;
+    EXPECT_EQ(sim_obj.head_state_encoded(), rt_obj.head_state_encoded());
+    EXPECT_EQ(sim_obj.version(), rt_obj.version()) << "version diverges";
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(sim_obj.peek_announce(i), rt_obj.peek_announce(i))
+          << "announce[" << i << "] diverges at " << step;
+      EXPECT_EQ(sim_obj.peek_result(i), rt_obj.peek_result(i))
+          << "result[" << i << "] diverges at " << step;
+    }
+  }
+  // The leak itself must reproduce identically: both versions count every
+  // state-changing operation ever applied.
+  EXPECT_GT(sim_obj.version(), 0u);
 }
 
 // ---- Universal construction (Algorithm 5 over 6): the head/announce word

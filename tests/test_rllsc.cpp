@@ -267,27 +267,30 @@ TEST(RllscProgress, StoreUnblocksPendingScAndRl) {
   sched.start(0, sc_task);
   sched.step(0);  // p0: Read(X) — observes itself linked
 
-  // p1 interferes: toggling its own context bit between p0's Read and CAS
-  // changes the word exactly once per round, so p0's CAS always fails.
+  // p1 interferes: toggling its own context bit between p0's CAS attempts
+  // changes the word exactly once per round, so p0's CAS always fails. With
+  // the failure-word CAS, each failed retry is exactly ONE step — the failed
+  // CAS reports the word it observed and p0 retries against that, with no
+  // separate re-read.
   bool p1_linked = false;
   for (int i = 0; i < 5; ++i) {
     (void)sim::run_solo(sched, 1,
                         object.apply(1, p1_linked ? RllscSpec::rl(1)
                                                   : RllscSpec::ll(1)));
     p1_linked = !p1_linked;
-    sched.step(0);  // p0: CAS fails (word changed under it)
+    sched.step(0);  // p0: CAS fails, observing the toggled word
     ASSERT_FALSE(sched.op_finished(0)) << "SC should still be retrying";
-    sched.step(0);  // p0: re-Read
-    ASSERT_FALSE(sched.op_finished(0));
   }
 
-  // Context reset: p0 is no longer linked, so its SC must fail-fast.
+  // Context reset: p0 is no longer linked, so its SC must fail-fast — one
+  // final failing CAS whose observed word shows the cleared context.
   (void)sim::run_solo(sched, 1, object.apply(1, RllscSpec::store(1, 7)));
   int steps = 0;
-  while (!sched.op_finished(0) && steps < 4) {
+  while (!sched.op_finished(0) && steps < 2) {
     sched.step(0);
     ++steps;
   }
+  EXPECT_EQ(steps, 1) << "the failing CAS itself reveals the reset context";
   ASSERT_TRUE(sched.op_finished(0));
   sched.finish(0);
   EXPECT_FALSE(sc_task.take_result().flag);
@@ -312,7 +315,8 @@ TEST(RllscProgress, LlIsLockFreeNotWaitFree) {
   for (int round = 0; round < 20; ++round) {
     // p1 completes LL + SC writing a *fresh* value (cycling 1..7 never
     // repeats consecutively and never equals the initial 0), so the word
-    // always differs from p0's stale expectation.
+    // always differs from p0's stale expectation. Each starved retry is one
+    // step: the failed CAS observes the fresh word and retries against it.
     (void)sim::run_solo(sched, 1, object.apply(1, RllscSpec::ll(1)));
     const auto sc = sim::run_solo(
         sched, 1,
@@ -320,14 +324,13 @@ TEST(RllscProgress, LlIsLockFreeNotWaitFree) {
                             1, static_cast<std::uint16_t>(round % 7 + 1))));
     ASSERT_TRUE(sc.flag);
     ++successful_scs;
-    sched.step(0);  // p0: CAS fails
-    ASSERT_FALSE(sched.op_finished(0));
-    sched.step(0);  // p0: re-Read
+    sched.step(0);  // p0: CAS fails, observing p1's freshly installed word
     ASSERT_FALSE(sched.op_finished(0));
   }
   EXPECT_EQ(successful_scs, 20);
 
-  // Solo, the LL completes immediately.
+  // Solo, the LL completes immediately: the last failure's observed word is
+  // still current, so the very next CAS succeeds.
   sched.step(0);
   ASSERT_TRUE(sched.op_finished(0));
   sched.finish(0);

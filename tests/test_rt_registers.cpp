@@ -101,7 +101,13 @@ TEST(RtWaitFreeHiRegister, ReaderAlwaysCompletesUnderHotWriter) {
   std::atomic<std::uint64_t> reads_done{0};
   std::thread writer([&] {
     util::Xoshiro256 rng(4);
-    for (int i = 0; i < 60000; ++i) {
+    // Stay hot until the reader has demonstrably made progress (a fixed
+    // write count is flaky under machine load: the writer can finish before
+    // the reader thread is first scheduled); the cap keeps the test bounded
+    // even if the reader stalls.
+    for (std::uint64_t i = 0;
+         reads_done.load(std::memory_order_acquire) < 200 && i < 50'000'000;
+         ++i) {
       reg.write(static_cast<std::uint32_t>(rng.next_in(1, 6)));
     }
     stop.store(true);
