@@ -3,6 +3,9 @@
 // cache-line-padded binary cell, so this workload measures the raw cost of
 // the perfect-HI discipline — and how it scales when multiple threads hit
 // disjoint vs overlapping elements.
+//
+// emit_bench_json() writes BENCH_hi_set.json with build metadata and the
+// per-result allocs_per_op field (0.0 in steady state; docs/PERF.md).
 #include <benchmark/benchmark.h>
 
 #include <cstdint>

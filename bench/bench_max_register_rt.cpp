@@ -4,6 +4,9 @@
 // is O(v) on a ramp and ZERO atomics when absorbed — the absorb fast-path is
 // the HI-relevant behaviour (an absorbed write may leave no footprint), and
 // the benchmark quantifies that it is also the cheap path.
+//
+// emit_bench_json() writes BENCH_max_register.json with build metadata and
+// the per-result allocs_per_op field (0.0 in steady state; docs/PERF.md).
 #include <benchmark/benchmark.h>
 
 #include <cstdint>

@@ -4,6 +4,10 @@
 // read's TryRead-attempt distribution under a hot writer — Algorithm 2's
 // tail is unbounded (lock-free), Algorithm 4's is exactly ≤ 2 attempts
 // before falling back to B (wait-free).
+//
+// emit_bench_json() writes BENCH_registers.json with build metadata and the
+// per-result allocs_per_op field (0.0 in steady state — the frame arena
+// absorbs every coroutine frame; see docs/PERF.md for the schema and gate).
 #include <benchmark/benchmark.h>
 
 #include <atomic>

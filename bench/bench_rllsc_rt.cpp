@@ -3,6 +3,9 @@
 // CAS they are built from, solo and under contention. This quantifies the
 // substrate cost underneath Algorithm 5 — each universal-object operation is
 // a constant number of these.
+//
+// emit_bench_json() writes BENCH_rllsc.json with build metadata and the
+// per-result allocs_per_op field (0.0 in steady state; docs/PERF.md).
 #include <benchmark/benchmark.h>
 
 #include "rt/atomic128.h"

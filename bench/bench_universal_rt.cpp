@@ -13,6 +13,10 @@
 //     factor), lock collapses under contention;
 //   * tail latency: the wait-free constructions have bounded max latency;
 //     the cas-loop's per-op retry count is unbounded (lock-freedom only).
+//
+// emit_bench_json() writes BENCH_universal.json with build metadata and the
+// per-result allocs_per_op field (0.0 in steady state — helping chains
+// recycle through the frame arena; docs/PERF.md).
 #include <benchmark/benchmark.h>
 
 #include <atomic>

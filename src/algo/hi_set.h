@@ -14,7 +14,10 @@
 // exactly the membership bitmap of the current abstract state: perfect HI
 // per Definition 5 (and trivially consistent with Proposition 6 — adjacent
 // states differ in exactly one base object). Fully multi-writer/multi-reader
-// and wait-free.
+// and wait-free. Each operation spawns exactly one Op coroutine and no
+// helpers; on RtEnv that single frame recycles through the per-thread frame
+// arena (env/rt_env.h), so the hardware cost is one padded atomic access
+// and zero steady-state heap allocations.
 #pragma once
 
 #include <cassert>

@@ -27,6 +27,12 @@
 // Packing limits (both backends, for bit-exact sim↔rt parity of the decoded
 // fields): encoded abstract states ≤ 32 bits, versions and per-process
 // sequence numbers ≤ 24 bits, responses ≤ 32 bits, ≤ 64 processes.
+//
+// The body spawns no helper coroutines — apply() forwards to the
+// apply_read_only/apply_update Op without an extra frame, and the retry
+// loops are plain loops over Env primitives — so on RtEnv each operation
+// is a single arena-recycled frame: zero steady-state heap allocations,
+// like the HI construction it is benchmarked against.
 #pragma once
 
 #include <cassert>

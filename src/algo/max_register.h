@@ -17,7 +17,10 @@
 // read, wait-free because the cell holding the maximum is never cleared.
 // An absorbed WriteMax (v ≤ previous maximum, tracked writer-locally) takes
 // ZERO shared-memory steps: it must leave no footprint, or the footprint
-// would reveal that the absorbed write happened.
+// would reveal that the absorbed write happened. On RtEnv the Op frame
+// itself is arena-recycled (env/rt_env.h), so an absorbed write is also
+// heap-allocation-free — the bench's absorbed_write row measures pure
+// coroutine overhead, not the allocator.
 #pragma once
 
 #include <cassert>

@@ -108,17 +108,28 @@ class LockFreeHiAlg {
   }
 
   /// Read(): retry TryRead until it finds a value (Algorithm 2, lines 1–4).
+  /// The retry loop lives directly in the Op body (rather than in a shared
+  /// Sub helper) so a Read keeps at most one helper frame (the TryRead)
+  /// alive at a time — on RtEnv the whole chain then recycles through the
+  /// per-thread frame arena with zero steady-state heap traffic. Step
+  /// counts are unchanged: frames are never steps.
   Op<std::uint32_t> read() {
-    const std::optional<std::uint32_t> val = co_await read_attempts(0);
-    co_return *val;
+    for (;;) {
+      const std::optional<std::uint32_t> val = co_await try_read();
+      if (val.has_value()) co_return *val;
+    }
   }
 
   /// Bounded-retry Read for hardware harnesses: nullopt after
   /// `max_attempts` failed TryReads (0 = retry forever, as the paper's
-  /// lock-free Read does).
+  /// lock-free Read does). Same flat retry-loop shape as read().
   Op<std::optional<std::uint32_t>> read_bounded(std::uint64_t max_attempts) {
-    const std::optional<std::uint32_t> val = co_await read_attempts(max_attempts);
-    co_return val;
+    for (std::uint64_t attempt = 0;
+         max_attempts == 0 || attempt < max_attempts; ++attempt) {
+      const std::optional<std::uint32_t> val = co_await try_read();
+      if (val.has_value()) co_return val;
+    }
+    co_return std::nullopt;
   }
 
   /// Write(v): set A[v], clear down v-1..1, then clear up v+1..K
@@ -144,17 +155,6 @@ class LockFreeHiAlg {
   std::uint32_t num_values() const { return num_values_; }
 
  private:
-  /// The Read retry loop (Algorithm 2, lines 1–4), shared between the
-  /// unbounded and the bounded entry points.
-  Sub<std::optional<std::uint32_t>> read_attempts(std::uint64_t max_attempts) {
-    for (std::uint64_t attempt = 0;
-         max_attempts == 0 || attempt < max_attempts; ++attempt) {
-      const std::optional<std::uint32_t> val = co_await try_read();
-      if (val.has_value()) co_return val;
-    }
-    co_return std::nullopt;
-  }
-
   /// TryRead (Algorithm 3): one upward scan for a 1; on success, downward
   /// confirmation scan; ⊥ (nullopt) if the whole array read as 0.
   Sub<std::optional<std::uint32_t>> try_read() {

@@ -19,6 +19,11 @@
 // Process identities are explicit small integers (0..63) supplied by the
 // caller, exactly as the paper's p_i; the simulator wrapper recovers them
 // from the scheduler so existing call sites stay pid-implicit.
+//
+// Every entry point is a Sub coroutine: on RtEnv its frame comes from the
+// per-thread frame arena (env/rt_env.h), so LL/SC/RL/VL/Load/Store cost
+// zero steady-state heap allocations — the rt benches' allocs_per_op field
+// pins this (docs/PERF.md).
 #pragma once
 
 #include <cassert>

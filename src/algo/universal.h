@@ -40,6 +40,14 @@
 // the R-LLSC cell it is composed over, so when Cell = CasRllscAlg the
 // failure-word CAS (docs/ENV.md) applies to all of Algorithm 5's LL/SC/RL
 // traffic: one atomic per failed low-level retry, on both backends.
+//
+// Frame discipline: apply() forwards to apply_read_only/apply_update by
+// returning the callee's task (no extra coroutine frame), and the helper
+// chain below an apply — the cell's LL/SC/RL Subs and the response_ready /
+// head_clear_of poll Subs spawned once per ‖-poll — is at most three frames
+// deep. On RtEnv all of them recycle through the per-thread frame arena
+// (env/rt_env.h): an update operation performs zero steady-state heap
+// allocations however much helping it does.
 #pragma once
 
 #include <cassert>

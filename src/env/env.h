@@ -36,9 +36,18 @@
 // peek_* functions are observer-side (never a step of the model) and are
 // what memory_image()/parity checks are built from.
 //
+// Allocation contract: the coroutine frames behind Op/Sub are the
+// environment's cost to manage, not the algorithm's. RtEnv backs every
+// EagerTask frame with a per-thread recycling arena so the hardware fast
+// path is allocation-free in steady state (allocs_per_op == 0 in every
+// BENCH_*.json; see docs/PERF.md); SimEnv frames are ordinary heap
+// allocations, fine for model checking. Algorithm bodies should still keep
+// helper-call chains shallow — at most one live Sub per nesting level —
+// because a frame is recycled only when its task is destroyed.
+//
 // The full contract — memory-step semantics, the one-resume-one-step
-// invariant in SimEnv, the EagerTask rules in RtEnv, and how to add a
-// backend — is documented in docs/ENV.md.
+// invariant in SimEnv, the EagerTask rules in RtEnv, the frame-arena
+// lifecycle, and how to add a backend — is documented in docs/ENV.md.
 //
 // The payoff: one algorithm definition gets exhaustive interleaving checks
 // and HI model checking from the SimEnv instantiation, and real-thread

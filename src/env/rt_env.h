@@ -9,16 +9,22 @@
 // Every awaitable is Ready (never suspends), so an algorithm coroutine
 // instantiated with RtEnv runs to completion synchronously inside the call —
 // EagerTask is just the vehicle that lets the same coroutine body serve both
-// environments. The cost on hardware is one coroutine-frame allocation per
-// operation/helper call (GCC rarely elides frames); the benchmarks absorb
-// this and it is documented in README.md.
+// environments. GCC rarely elides the coroutine frame, so without help every
+// operation/helper call would pay one heap allocation; instead EagerTask's
+// promise allocates its frame from a per-thread FrameArena (below), making
+// the steady-state hot path allocation-free. The arena lifecycle rules are
+// documented in docs/ENV.md; tests/test_rt_alloc.cpp and the allocs_per_op
+// field of every BENCH_*.json (docs/PERF.md) enforce the zero.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <new>
 #include <optional>
 #include <string>
 #include <utility>
@@ -31,17 +37,156 @@
 
 namespace hi::env {
 
+/// Per-thread recycling allocator for EagerTask coroutine frames.
+///
+/// Frames are size-bucketed at kGranule resolution; deallocating a frame
+/// parks its slab on the owning thread's free list (linked through the
+/// slab's first word) and the next same-bucket allocation pops it back, so
+/// after a handful of warmup operations the RtEnv fast path touches the
+/// global heap zero times per operation. Sizes above kMaxCachedBytes fall
+/// through to ::operator new (no EagerTask frame in this codebase comes
+/// close; tests cover the path directly).
+///
+/// Lifecycle rules (docs/ENV.md "RtEnv: frame arena"):
+///   * allocate and deallocate MUST happen on the same thread — an
+///     EagerTask has run to completion by the time the caller holds it and
+///     is consumed synchronously by the rt wrappers, so frames never
+///     migrate; handing a live EagerTask to another thread would break
+///     this contract (and TSan flags it — see
+///     RtAllocChurn.MultiThreadArenaBalance in tests/test_rt_alloc.cpp);
+///   * cached slabs are released by drain(), which the thread-exit
+///     destructor runs — a detached frame outliving its thread would
+///     dangle, which is why EagerTask frames may never outlive the owning
+///     thread;
+///   * stats() is observer-side bookkeeping for tests/benches, never part
+///     of an algorithm's step count.
+class FrameArena {
+ public:
+  static constexpr std::size_t kGranule = 64;
+  static constexpr std::size_t kBuckets = 64;
+  static constexpr std::size_t kMaxCachedBytes = kGranule * kBuckets;  // 4 KiB
+  // Buckets 0..kPrewarmBuckets-1 (frame sizes up to 1 KiB) start with
+  // kPrewarmDepth slabs parked at construction — i.e. at each thread's
+  // FIRST EagerTask, inside any workload's warmup. Every algo coroutine in
+  // this codebase frames at 80–560 bytes with nesting depth ≤ 4, so after
+  // prewarm the steady state is DETERMINISTICALLY allocation-free: even a
+  // contention path first reached mid-measurement (a helping chain's
+  // deepest frame combination) pops a reserved slab instead of minting.
+  static constexpr std::size_t kPrewarmBuckets = 16;
+  static constexpr std::size_t kPrewarmDepth = 8;
+
+  struct Stats {
+    std::uint64_t fresh_slabs = 0;  // bucket misses: slabs minted from the heap
+    std::uint64_t reuse_hits = 0;   // bucket hits: slabs popped off a free list
+    std::uint64_t oversize = 0;     // > kMaxCachedBytes pass-through allocations
+    std::uint64_t outstanding = 0;  // live frames: allocate() minus deallocate()
+    std::uint64_t cached = 0;       // slabs currently parked on free lists
+  };
+
+  /// The calling thread's arena (constructed on first use, drained at
+  /// thread exit).
+  static FrameArena& local() noexcept {
+    static thread_local FrameArena arena;
+    return arena;
+  }
+
+  void* allocate(std::size_t bytes) {
+    ++stats_.outstanding;
+    const std::size_t bucket = bucket_of(bytes);
+    if (bucket >= kBuckets) {
+      ++stats_.oversize;
+      return ::operator new(bytes);
+    }
+    if (void* slab = free_[bucket]) {
+      free_[bucket] = *static_cast<void**>(slab);
+      ++stats_.reuse_hits;
+      --stats_.cached;
+      return slab;
+    }
+    ++stats_.fresh_slabs;
+    return ::operator new((bucket + 1) * kGranule);
+  }
+
+  void deallocate(void* ptr, std::size_t bytes) noexcept {
+    --stats_.outstanding;
+    const std::size_t bucket = bucket_of(bytes);
+    if (bucket >= kBuckets) {
+      ::operator delete(ptr);
+      return;
+    }
+    *static_cast<void**>(ptr) = free_[bucket];
+    free_[bucket] = ptr;
+    ++stats_.cached;
+  }
+
+  /// Releases every cached slab back to the heap. Runs at thread exit;
+  /// callable any time there are no live frames on this thread.
+  void drain() noexcept {
+    for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+      void* slab = free_[bucket];
+      free_[bucket] = nullptr;
+      while (slab != nullptr) {
+        void* next = *static_cast<void**>(slab);
+        ::operator delete(slab);
+        --stats_.cached;
+        slab = next;
+      }
+    }
+  }
+
+  Stats stats() const noexcept { return stats_; }
+
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+  ~FrameArena() { drain(); }
+
+ private:
+  FrameArena() {
+    for (std::size_t bucket = 0; bucket < kPrewarmBuckets; ++bucket) {
+      for (std::size_t i = 0; i < kPrewarmDepth; ++i) {
+        void* slab = ::operator new((bucket + 1) * kGranule);
+        *static_cast<void**>(slab) = free_[bucket];
+        free_[bucket] = slab;
+        ++stats_.fresh_slabs;  // prewarm mints count as fresh, so
+        ++stats_.cached;       // cached == fresh_slabs holds at rest
+      }
+    }
+  }
+
+  static std::size_t bucket_of(std::size_t bytes) noexcept {
+    return bytes == 0 ? 0 : (bytes - 1) / kGranule;
+  }
+
+  std::array<void*, kBuckets> free_{};
+  Stats stats_{};
+};
+
 /// Coroutine type for RtEnv operations and helpers. Eagerly started; since
 /// no RtEnv awaitable ever suspends, the body has run to completion by the
 /// time the caller holds the task. `get()` extracts the result
 /// synchronously; the awaiter interface lets EagerTasks nest inside other
 /// EagerTasks exactly where sim::SubTasks nest inside sim::OpTasks.
+///
+/// Frames come from the per-thread FrameArena via the class-level
+/// operator new/delete on the promise: nested helper frames (an Op awaiting
+/// a Sub awaiting another Sub) draw from the same arena, so a steady-state
+/// operation performs ZERO heap allocations regardless of helper depth.
+/// Only the sized operator delete is declared — the coroutine frame size is
+/// the bucket key, and an unsized call would be a (loud, compile-time)
+/// contract violation rather than silent corruption.
 template <typename T>
 class [[nodiscard]] EagerTask {
  public:
   struct promise_type {
     std::optional<T> result;
     std::exception_ptr error;
+
+    static void* operator new(std::size_t bytes) {
+      return FrameArena::local().allocate(bytes);
+    }
+    static void operator delete(void* ptr, std::size_t bytes) noexcept {
+      FrameArena::local().deallocate(ptr, bytes);
+    }
 
     EagerTask get_return_object() {
       return EagerTask{std::coroutine_handle<promise_type>::from_promise(*this)};

@@ -14,7 +14,10 @@
 //                      algo/leaky_universal.h (LeakyUniversalAlg),
 //                      instantiated here with RtEnv — the simulator
 //                      instantiation of the SAME body is
-//                      baseline::LeakyUniversal.
+//                      baseline::LeakyUniversal. Its single-frame apply()
+//                      recycles through the calling thread's FrameArena
+//                      (zero steady-state heap allocations), keeping the
+//                      E14 comparison about clearing cost, not allocators.
 #pragma once
 
 #include <atomic>

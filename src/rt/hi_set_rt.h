@@ -7,7 +7,9 @@
 // instantiated here with RtEnv. The simulator instantiation of the SAME
 // body is core::HiSet; memory_image() here matches the simulator's mem(C)
 // snapshot word-for-word after identical operation sequences
-// (tests/test_env_parity.cpp).
+// (tests/test_env_parity.cpp). Single-frame operations consumed on the
+// calling thread: each thread's FrameArena recycles them, so steady-state
+// insert/remove/lookup never touch the heap.
 #pragma once
 
 #include <cstdint>

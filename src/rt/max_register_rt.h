@@ -8,7 +8,10 @@
 // memory_image() here matches the simulator's mem(C) snapshot
 // word-for-word after identical operation sequences (tests/test_env_parity).
 // SWSR like the §4 registers: exactly one writer thread and one reader
-// thread (identified by the pids fixed at construction) may operate.
+// thread (identified by the pids fixed at construction) may operate. Both
+// sides consume their EagerTask synchronously, so frames recycle through
+// the owning thread's FrameArena: even the absorbed-write fast path (zero
+// atomics) is heap-allocation-free in steady state.
 #pragma once
 
 #include <cstdint>

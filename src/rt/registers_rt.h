@@ -11,6 +11,11 @@
 // bodies are in src/core; memory_image() here matches the simulator's
 // mem(C) snapshot word-for-word after identical operation sequences (see
 // tests/test_env_parity.cpp).
+//
+// Each call consumes its EagerTask on the calling thread, so every
+// coroutine frame recycles through that thread's FrameArena: steady-state
+// reads and writes perform zero heap allocations (tests/test_rt_alloc.cpp,
+// BENCH_registers.json allocs_per_op).
 #pragma once
 
 #include <cassert>

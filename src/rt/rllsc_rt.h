@@ -6,7 +6,10 @@
 // operation on an Atomic128 word (CMPXCHG16B via -mcx16); the simulator
 // instantiation of the SAME body is core::CasRllsc. Process identities are
 // explicit small integers (0..63) supplied by the caller, exactly as the
-// paper's p_i.
+// paper's p_i. Every wrapper consumes its EagerTask synchronously, so the
+// coroutine frames recycle through the calling thread's FrameArena —
+// LL/SC/RL cost their atomics and zero steady-state heap allocations
+// (BENCH_rllsc.json allocs_per_op).
 #pragma once
 
 #include <cassert>

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Gate and report on freshly emitted BENCH_*.json artifacts.
+
+Usage:
+    check_bench.py --fresh <dir> [--baseline <dir>] [--suites a,b,...]
+
+Two responsibilities (docs/PERF.md "How CI consumes the artifacts"):
+
+1. HARD GATE — allocation discipline. Every result row of every fresh
+   BENCH_*.json must report allocs_per_op == 0.0: the RtEnv frame arena is
+   supposed to absorb all coroutine frames, so ANY steady-state heap
+   traffic is a regression (a missing field, or the legacy -1.0 "not
+   measured" marker, also fails — a vacuous zero must not pass the gate).
+   Exit status 1 on violation.
+
+2. REPORT ONLY — throughput drift. Each fresh result is diffed against the
+   committed baseline artifact of the same suite (bench/baselines/) by
+   (name, threads) key and the ops_per_sec delta is printed. CI-runner
+   numbers are noisy, so this never fails the job; it exists so a human
+   reading the log can spot a trend (see the regression walkthrough in
+   docs/PERF.md).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+DEFAULT_SUITES = ["registers", "rllsc", "universal", "max_register", "hi_set"]
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def check_schema(suite, doc):
+    errors = []
+    if doc.get("suite") != suite:
+        errors.append(f"suite field is {doc.get('suite')!r}, expected {suite!r}")
+    if "meta" not in doc:
+        errors.append("missing meta block (compiler/flags provenance)")
+    else:
+        for key in ("compiler", "cplusplus", "optimize", "assertions",
+                    "sanitizer", "arch"):
+            if key not in doc["meta"]:
+                errors.append(f"meta missing {key!r}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        errors.append("results must be a non-empty list")
+        return errors
+    for row in results:
+        for key in ("name", "threads", "ops_per_sec", "p50_ns", "p99_ns",
+                    "allocs_per_op"):
+            if key not in row:
+                errors.append(f"result {row.get('name', '?')!r} missing {key!r}")
+    return errors
+
+
+def check_alloc_gate(doc):
+    """Returns rows violating the allocs_per_op == 0 steady-state contract."""
+    bad = []
+    for row in doc.get("results", []):
+        allocs = row.get("allocs_per_op")
+        if not isinstance(allocs, (int, float)) or allocs != 0:
+            bad.append(row)
+    return bad
+
+
+def report_throughput(suite, fresh, baseline):
+    if baseline is None:
+        print(f"  [{suite}] no committed baseline — skipping throughput diff")
+        return
+    base_by_key = {
+        (row["name"], row.get("threads", 1)): row
+        for row in baseline.get("results", [])
+    }
+    for row in fresh.get("results", []):
+        key = (row["name"], row.get("threads", 1))
+        base = base_by_key.get(key)
+        label = f"{row['name']} (threads={key[1]})"
+        if base is None or not base.get("ops_per_sec"):
+            print(f"  [{suite}] {label}: new result, no baseline")
+            continue
+        delta = (row["ops_per_sec"] - base["ops_per_sec"]) / base["ops_per_sec"]
+        print(f"  [{suite}] {label}: {row['ops_per_sec']:.0f} ops/s "
+              f"vs baseline {base['ops_per_sec']:.0f} ({delta:+.1%}, "
+              "report-only)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True,
+                        help="directory holding freshly emitted BENCH_*.json")
+    parser.add_argument("--baseline", default=None,
+                        help="directory holding committed baseline artifacts")
+    parser.add_argument("--suites", default=",".join(DEFAULT_SUITES),
+                        help="comma-separated suite names")
+    args = parser.parse_args()
+
+    suites = [s for s in args.suites.split(",") if s]
+    failures = []
+    for suite in suites:
+        fresh_path = os.path.join(args.fresh, f"BENCH_{suite}.json")
+        if not os.path.exists(fresh_path):
+            failures.append(f"{suite}: missing fresh artifact {fresh_path}")
+            continue
+        try:
+            fresh = load(fresh_path)
+        except (OSError, json.JSONDecodeError) as err:
+            failures.append(f"{suite}: unreadable fresh artifact: {err}")
+            continue
+
+        for err in check_schema(suite, fresh):
+            failures.append(f"{suite}: schema: {err}")
+        for row in check_alloc_gate(fresh):
+            failures.append(
+                f"{suite}: {row.get('name')!r} (threads="
+                f"{row.get('threads')}) reports allocs_per_op="
+                f"{row.get('allocs_per_op')!r}; steady state must be 0 — "
+                "a coroutine frame escaped the arena or the probe is off")
+
+        baseline = None
+        if args.baseline:
+            base_path = os.path.join(args.baseline, f"BENCH_{suite}.json")
+            if os.path.exists(base_path):
+                try:
+                    baseline = load(base_path)
+                except (OSError, json.JSONDecodeError) as err:
+                    print(f"  [{suite}] unreadable baseline ({err}); "
+                          "skipping diff")
+        report_throughput(suite, fresh, baseline)
+
+    stray = sorted(
+        os.path.basename(p) for p in glob.glob(
+            os.path.join(args.fresh, "BENCH_*.json"))
+        if os.path.basename(p)[len("BENCH_"):-len(".json")] not in suites)
+    if stray:
+        print(f"  note: unchecked artifacts present: {', '.join(stray)} "
+              "(add them to --suites and bench/baselines/)")
+
+    if failures:
+        print("\nBENCH check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nBENCH check passed: every suite reports allocs_per_op == 0.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
