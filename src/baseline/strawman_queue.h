@@ -1,59 +1,44 @@
 // Strawman "state-quiescent HI queue with Peek" from binary registers — the
-// candidate that Theorem 20 (§5.4 / Appendix C) dooms.
+// candidate that Theorem 20 (§5.4 / Appendix C) dooms — simulator
+// instantiation.
 //
-// Single-mutator queue over domain {1..t} with a front indicator kept in a
-// one-hot binary array F[0..t] (index 0 = empty) and the queue contents
-// mirrored canonically into per-slot bit-planes. Every state-changing
-// operation rewrites memory to the canonical encoding of the new state
-// (set-the-new-front-then-clear-the-old, Algorithm 2 style), so the
-// implementation is state-quiescent HI. Enqueue/Dequeue are wait-free. Peek,
-// however, must chase the one-hot front bit across F — and the
-// representative-state adversary (S(i1,i2) walks, Lemma 38) keeps the bit
-// forever one step ahead of the scan: Peek is only lock-free, demonstrating
-// concretely that the wait-free + state-quiescent-HI combination is
-// unattainable from base objects with fewer than t+1 states.
+// Single-source: the algorithm body lives in algo/strawman_queue.h
+// (StrawmanQueueAlg), templated over the execution environment; this file
+// pins the environment to SimEnv, preserving the seed interface (spec-driven
+// apply plus pid-checked peek/enqueue/dequeue). The schedule-replay
+// instantiation of the SAME body is replay::StrawmanQueue
+// (src/replay/replay_objects.h), which is how the Theorem 20 starvation
+// schedules become hardware-atomics regression tests.
 #pragma once
 
 #include <cassert>
-#include <cstdint>
-#include <string>
-#include <vector>
 
-#include "sim/base_object.h"
+#include "algo/strawman_queue.h"
+#include "env/sim_env.h"
 #include "sim/memory.h"
 #include "sim/task.h"
 #include "spec/queue_spec.h"
 
 namespace hi::baseline {
 
-class StrawmanQueue {
+/// Spec-driven harness wrapper, shared by the simulator (Env = SimEnv) and
+/// the schedule-replay backend (Env = ReplayEnv) so the op dispatch cannot
+/// diverge between the backends the differential replay suite compares.
+template <typename Env>
+class BasicStrawmanQueue {
  public:
   using Op = spec::QueueSpec::Op;
   using Resp = spec::QueueSpec::Resp;
+  template <typename T>
+  using OpTask = typename Env::template Op<T>;
 
-  StrawmanQueue(sim::Memory& memory, const spec::QueueSpec& spec,
-                int changer_pid, int reader_pid)
-      : domain_(spec.domain()),
-        capacity_(spec.capacity()),
+  BasicStrawmanQueue(typename Env::Ctx ctx, const spec::QueueSpec& spec,
+                     int changer_pid, int reader_pid)
+      : alg_(ctx, spec.domain(), spec.capacity()),
         changer_pid_(changer_pid),
-        reader_pid_(reader_pid) {
-    front_.reserve(domain_ + 1);
-    for (std::uint32_t v = 0; v <= domain_; ++v) {
-      front_.push_back(&memory.make<sim::BinaryRegister>(
-          "F[" + std::to_string(v) + "]", v == 0));  // initially empty
-    }
-    bits_per_slot_ = 1;
-    while ((1u << bits_per_slot_) < domain_ + 1) ++bits_per_slot_;
-    slots_.resize(capacity_);
-    for (std::size_t s = 0; s < capacity_; ++s) {
-      for (unsigned b = 0; b < bits_per_slot_; ++b) {
-        slots_[s].push_back(&memory.make<sim::BinaryRegister>(
-            "slot[" + std::to_string(s) + "]bit" + std::to_string(b), false));
-      }
-    }
-  }
+        reader_pid_(reader_pid) {}
 
-  sim::OpTask<Resp> apply(int pid, Op op) {
+  OpTask<Resp> apply(int pid, Op op) {
     switch (op.kind) {
       case spec::QueueSpec::Kind::kPeek: return peek(pid);
       case spec::QueueSpec::Kind::kEnqueue: return enqueue(pid, op.value);
@@ -63,75 +48,30 @@ class StrawmanQueue {
   }
 
   /// Peek: retry-scan F for the one-hot front bit. Lock-free only.
-  sim::OpTask<Resp> peek(int pid) {
+  OpTask<Resp> peek(int pid) {
     assert(pid == reader_pid_);
     (void)pid;
-    for (;;) {
-      for (std::uint32_t v = 0; v <= domain_; ++v) {
-        const std::uint8_t bit = co_await front_[v]->read();
-        if (bit == 1) co_return v;  // r_0 = empty, r_v = front element v
-      }
-    }
+    return alg_.peek();
   }
 
-  sim::OpTask<Resp> enqueue(int pid, std::uint8_t value) {
+  OpTask<Resp> enqueue(int pid, std::uint8_t value) {
     assert(pid == changer_pid_);
     (void)pid;
-    assert(value >= 1 && value <= domain_);
-    const std::uint32_t old_front = mirror_front();
-    if (mirror_.size() < capacity_) mirror_.push_back(value);
-    co_await rewrite_slots();
-    co_await update_front(old_front, mirror_front());
-    co_return spec::QueueSpec::kEmptyResp;
+    return alg_.enqueue(value);
   }
 
-  sim::OpTask<Resp> dequeue(int pid) {
+  OpTask<Resp> dequeue(int pid) {
     assert(pid == changer_pid_);
     (void)pid;
-    if (mirror_.empty()) co_return spec::QueueSpec::kEmptyResp;
-    const std::uint32_t old_front = mirror_front();
-    const Resp response = mirror_.front();
-    mirror_.erase(mirror_.begin());
-    co_await rewrite_slots();
-    co_await update_front(old_front, mirror_front());
-    co_return response;
+    return alg_.dequeue();
   }
 
  private:
-  std::uint32_t mirror_front() const {
-    return mirror_.empty() ? 0u : mirror_.front();
-  }
-
-  /// Canonically re-encode the queue contents (left-justified, zero-padded).
-  sim::SubTask<bool> rewrite_slots() {
-    for (std::size_t s = 0; s < capacity_; ++s) {
-      const std::uint32_t value = s < mirror_.size() ? mirror_[s] : 0u;
-      for (unsigned b = 0; b < bits_per_slot_; ++b) {
-        co_await slots_[s][b]->write((value >> b) & 1u);
-      }
-    }
-    co_return true;
-  }
-
-  /// One-hot front update: set the new bit, then clear the old one (there is
-  /// always at least one bit set, but a scan can still miss both).
-  sim::SubTask<bool> update_front(std::uint32_t old_front,
-                                  std::uint32_t new_front) {
-    if (old_front != new_front) {
-      co_await front_[new_front]->write(1);
-      co_await front_[old_front]->write(0);
-    }
-    co_return true;
-  }
-
-  std::uint32_t domain_;
-  std::size_t capacity_;
+  algo::StrawmanQueueAlg<Env> alg_;
   int changer_pid_;
   int reader_pid_;
-  unsigned bits_per_slot_ = 1;
-  std::vector<std::uint8_t> mirror_;  // single-mutator local view
-  std::vector<sim::BinaryRegister*> front_;
-  std::vector<std::vector<sim::BinaryRegister*>> slots_;
 };
+
+using StrawmanQueue = BasicStrawmanQueue<env::SimEnv>;
 
 }  // namespace hi::baseline

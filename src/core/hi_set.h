@@ -16,24 +16,30 @@
 
 namespace hi::core {
 
-class HiSet : public algo::HiSetAlg<env::SimEnv> {
+/// Spec-driven harness wrapper, shared by the simulator (Env = SimEnv) and
+/// the schedule-replay backend (Env = ReplayEnv) so the op dispatch cannot
+/// diverge between the backends the differential replay suite compares.
+template <typename Env>
+class BasicHiSet : public algo::HiSetAlg<Env> {
  public:
-  using Base = algo::HiSetAlg<env::SimEnv>;
+  using Base = algo::HiSetAlg<Env>;
   using Op = spec::SetSpec::Op;
   using Resp = spec::SetSpec::Resp;
 
-  HiSet(sim::Memory& memory, const spec::SetSpec& spec)
-      : Base(memory, spec.domain(), spec.initial_state()) {}
+  BasicHiSet(typename Env::Ctx ctx, const spec::SetSpec& spec)
+      : Base(ctx, spec.domain(), spec.initial_state()) {}
 
-  sim::OpTask<Resp> apply(int pid, Op op) {
+  typename Env::template Op<Resp> apply(int pid, Op op) {
     (void)pid;  // fully symmetric: any process may invoke anything
     switch (op.kind) {
-      case spec::SetSpec::Kind::kInsert: return insert(op.value);
-      case spec::SetSpec::Kind::kRemove: return remove(op.value);
-      case spec::SetSpec::Kind::kLookup: return lookup(op.value);
+      case spec::SetSpec::Kind::kInsert: return this->insert(op.value);
+      case spec::SetSpec::Kind::kRemove: return this->remove(op.value);
+      case spec::SetSpec::Kind::kLookup: return this->lookup(op.value);
     }
-    return lookup(op.value);  // unreachable
+    return this->lookup(op.value);  // unreachable
   }
 };
+
+using HiSet = BasicHiSet<env::SimEnv>;
 
 }  // namespace hi::core

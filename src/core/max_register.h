@@ -16,23 +16,29 @@
 
 namespace hi::core {
 
-class HiMaxRegister : public algo::HiMaxRegisterAlg<env::SimEnv> {
+/// Spec-driven harness wrapper, shared by the simulator (Env = SimEnv) and
+/// the schedule-replay backend (Env = ReplayEnv) so the op dispatch cannot
+/// diverge between the backends the differential replay suite compares.
+template <typename Env>
+class BasicHiMaxRegister : public algo::HiMaxRegisterAlg<Env> {
  public:
-  using Base = algo::HiMaxRegisterAlg<env::SimEnv>;
+  using Base = algo::HiMaxRegisterAlg<Env>;
   using Op = spec::MaxRegisterSpec::Op;
   using Resp = spec::MaxRegisterSpec::Resp;
 
-  HiMaxRegister(sim::Memory& memory, const spec::MaxRegisterSpec& spec,
-                int writer_pid, int reader_pid)
-      : Base(memory, spec.num_values(), spec.initial_state(), writer_pid,
+  BasicHiMaxRegister(typename Env::Ctx ctx, const spec::MaxRegisterSpec& spec,
+                     int writer_pid, int reader_pid)
+      : Base(ctx, spec.num_values(), spec.initial_state(), writer_pid,
              reader_pid) {}
 
-  sim::OpTask<Resp> apply(int pid, Op op) {
+  typename Env::template Op<Resp> apply(int pid, Op op) {
     if (op.kind == spec::MaxRegisterSpec::Kind::kReadMax) {
-      return read_max(pid);
+      return this->read_max(pid);
     }
-    return write_max(pid, op.value);
+    return this->write_max(pid, op.value);
   }
 };
+
+using HiMaxRegister = BasicHiMaxRegister<env::SimEnv>;
 
 }  // namespace hi::core

@@ -11,52 +11,14 @@
 // environments.
 #pragma once
 
-#include <cassert>
-#include <cstdint>
-
 #include "algo/registers.h"
+#include "core/swsr_wrapper.h"
 #include "env/sim_env.h"
 #include "sim/memory.h"
 #include "sim/task.h"
-#include "spec/register_spec.h"
 
 namespace hi::core {
 
-class VidyasankarRegister {
- public:
-  using Op = spec::RegisterSpec::Op;
-  using Resp = spec::RegisterSpec::Resp;
-
-  VidyasankarRegister(sim::Memory& memory, const spec::RegisterSpec& spec,
-                      int writer_pid, int reader_pid)
-      : alg_(memory, spec.num_values(), spec.initial_state()),
-        writer_pid_(writer_pid),
-        reader_pid_(reader_pid) {}
-
-  sim::OpTask<Resp> apply(int pid, Op op) {
-    if (op.kind == spec::RegisterSpec::Kind::kRead) return read(pid);
-    return write(pid, op.value);
-  }
-
-  sim::OpTask<Resp> read(int pid) {
-    assert(pid == reader_pid_);
-    (void)pid;
-    return alg_.read();
-  }
-
-  sim::OpTask<Resp> write(int pid, std::uint32_t value) {
-    assert(pid == writer_pid_);
-    (void)pid;
-    return alg_.write(value);
-  }
-
-  int writer_pid() const { return writer_pid_; }
-  int reader_pid() const { return reader_pid_; }
-
- private:
-  algo::VidyasankarAlg<env::SimEnv> alg_;
-  int writer_pid_;
-  int reader_pid_;
-};
+using VidyasankarRegister = SwsrRegister<algo::VidyasankarAlg, env::SimEnv>;
 
 }  // namespace hi::core

@@ -33,6 +33,7 @@
 #include "algo/values.h"
 #include "env/env.h"
 #include "rt/atomic128.h"
+#include "rt/cells.h"
 #include "util/padded.h"
 
 namespace hi::env {
@@ -248,8 +249,12 @@ struct RtEnv {
   using Sub = EagerTask<T>;
 
   // ---- binary registers (the §4/§5.1 base objects) ----
+  //
+  // Cell types and primitive bodies are shared with the ReplayEnv backend
+  // (rt/cells.h): one memory layout, one set of atomic operations — only
+  // the execution discipline (eager here, scheduler-driven there) differs.
 
-  using BinArray = std::vector<util::Padded<std::atomic<std::uint8_t>>>;
+  using BinArray = std::vector<rt::BinCell>;
 
   /// Allocates `count` cache-line-padded atomic bytes; slot `one_index`
   /// (1-based; 0 = none) starts at 1. Construction only — no shared-memory
@@ -279,15 +284,14 @@ struct RtEnv {
   /// read(A[index]) — one seq_cst atomic load; models 1 binary-register-read
   /// step of the paper's model. `index` is 1-based (the paper's A[v]).
   static auto read_bit(BinArray& array, std::uint32_t index) {
-    return detail::Ready{[cell = &*array[index - 1]] {
-      return cell->load(std::memory_order_seq_cst);
-    }};
+    return detail::Ready{
+        [cell = &*array[index - 1]] { return rt::bin_read(*cell); }};
   }
   /// write(A[index], value) — one seq_cst atomic store; 1 step.
   static auto write_bit(BinArray& array, std::uint32_t index,
                         std::uint8_t value) {
     return detail::Ready{[cell = &*array[index - 1], value] {
-      cell->store(value, std::memory_order_seq_cst);
+      rt::bin_write(*cell, value);
       return true;
     }};
   }
@@ -301,13 +305,7 @@ struct RtEnv {
 
   using Value = std::uint64_t;
   using Word = algo::CtxWord<Value>;
-
-  struct alignas(util::kCacheLine) CasCell {
-    rt::Atomic128 word;
-
-    CasCell() = default;
-    explicit CasCell(rt::Word128 initial) : word(initial) {}
-  };
+  using CasCell = rt::CasCell128;
 
   /// Construction only — no shared-memory step.
   static CasCell make_cas(Ctx, const std::string& /*name*/, Value initial) {
@@ -316,34 +314,25 @@ struct RtEnv {
 
   /// Read(X) — one seq_cst 16-byte atomic load; 1 step of the model.
   static auto cas_read(CasCell& cell) {
-    return detail::Ready{[&cell] {
-      const rt::Word128 w = cell.word.load();
-      return Word{w.value, w.ctx};
-    }};
+    return detail::Ready{[&cell] { return rt::cas128_read(cell); }};
   }
   /// CAS(X, expected, desired) — one CMPXCHG16B; 1 step. Failure-word
   /// semantics come for free: compare_exchange writes the current word back
   /// into `expected` on failure, and that word is returned as `observed`.
   static auto cas(CasCell& cell, const Word& expected, const Word& desired) {
     return detail::Ready{[&cell, expected, desired] {
-      rt::Word128 want{expected.value, expected.ctx};
-      const bool installed = cell.word.compare_exchange(
-          want, rt::Word128{desired.value, desired.ctx});
-      return algo::CasResult<Word>{installed, Word{want.value, want.ctx}};
+      return rt::cas128_cas(cell, expected, desired);
     }};
   }
   /// Write(X, desired) — one seq_cst 16-byte atomic store; 1 step.
   static auto cas_write(CasCell& cell, const Word& desired) {
     return detail::Ready{[&cell, desired] {
-      cell.word.store(rt::Word128{desired.value, desired.ctx});
+      rt::cas128_write(cell, desired);
       return true;
     }};
   }
   /// Observer-side peek — not an algorithm step.
-  static Word peek_cas(const CasCell& cell) {
-    const rt::Word128 w = cell.word.load();
-    return Word{w.value, w.ctx};
-  }
+  static Word peek_cas(const CasCell& cell) { return rt::cas128_read(cell); }
   /// False iff libatomic fell back to a lock table (no CMPXCHG16B).
   static bool cas_is_lock_free(const CasCell& cell) {
     return cell.word.is_lock_free();
@@ -351,7 +340,7 @@ struct RtEnv {
 
   // ---- arrays of 64-bit CAS words (per-process announce/result tables) ----
 
-  using WordArray = std::vector<util::Padded<std::atomic<std::uint64_t>>>;
+  using WordArray = std::vector<rt::WordCell>;
 
   /// Allocates `count` cache-line-padded atomic words, all starting at
   /// `initial`. 0-based indices (per-process cells keyed by pid).
@@ -365,15 +354,14 @@ struct RtEnv {
 
   /// read(W[index]) — one seq_cst atomic load; 1 step.
   static auto read_word(WordArray& array, std::uint32_t index) {
-    return detail::Ready{[cell = &*array[index]] {
-      return cell->load(std::memory_order_seq_cst);
-    }};
+    return detail::Ready{
+        [cell = &*array[index]] { return rt::word_read(*cell); }};
   }
   /// write(W[index], value) — one seq_cst atomic store; 1 step.
   static auto write_word(WordArray& array, std::uint32_t index,
                          std::uint64_t value) {
     return detail::Ready{[cell = &*array[index], value] {
-      cell->store(value, std::memory_order_seq_cst);
+      rt::word_write(*cell, value);
       return true;
     }};
   }
@@ -382,10 +370,7 @@ struct RtEnv {
   static auto cas_word(WordArray& array, std::uint32_t index,
                        std::uint64_t expected, std::uint64_t desired) {
     return detail::Ready{[cell = &*array[index], expected, desired] {
-      std::uint64_t want = expected;
-      const bool installed = cell->compare_exchange_strong(
-          want, desired, std::memory_order_seq_cst);
-      return algo::CasResult<std::uint64_t>{installed, want};
+      return rt::word_cas(*cell, expected, desired);
     }};
   }
   /// Observer-side peek — not an algorithm step.

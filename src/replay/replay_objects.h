@@ -1,0 +1,149 @@
+// Schedule-replay instantiations of every single-source algorithm: the same
+// `src/algo/` bodies the simulator (src/core) and hardware (src/rt) run,
+// pinned to env::ReplayEnv — hardware atomics executed step-by-step under a
+// sim::Scheduler. Interfaces mirror the src/core wrappers (spec-driven
+// apply over a sim::Memory), so the differential driver (verify/replay.h)
+// can march a core::* system and a replay::* system through one recorded
+// ScheduleTrace and compare them after every step.
+//
+// Objects covered: Vidyasankar (Alg 1), the lock-free HI register (Alg 2/3),
+// the wait-free HI register (Alg 4), the §5.1 max register and perfect-HI
+// set, the R-LLSC object (Alg 6), the universal construction (Alg 5 over 6),
+// the leaky (Fatourou–Kallimanis) universal baseline, and the Theorem 20
+// strawman queue. The R-LLSC spec harness below also serves the SimEnv
+// instantiation, so both sides of a differential run share one adapter.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+#include "algo/leaky_universal.h"
+#include "algo/registers.h"
+#include "algo/rllsc.h"
+#include "algo/universal.h"
+#include "algo/values.h"
+#include "baseline/strawman_queue.h"
+#include "core/hi_set.h"
+#include "core/max_register.h"
+#include "core/swsr_wrapper.h"
+#include "env/replay_env.h"
+#include "sim/memory.h"
+#include "sim/task.h"
+#include "spec/rllsc_spec.h"
+#include "spec/spec.h"
+
+namespace hi::replay {
+
+// The spec-driven harness wrappers are single-source too (core/ and
+// baseline/ define them templated over Env): the replay instantiations
+// below share every line of dispatch and pid-checking code with their
+// simulator siblings, so the two sides of a differential run can only
+// differ in the environment itself.
+
+/// Algorithm 1 [Vidyasankar] over hardware atomics, scheduler-driven.
+using VidyasankarRegister =
+    core::SwsrRegister<algo::VidyasankarAlg, env::ReplayEnv>;
+
+/// Algorithms 2+3 (lock-free state-quiescent HI) over hardware atomics.
+using LockFreeHiRegister =
+    core::SwsrRegister<algo::LockFreeHiAlg, env::ReplayEnv>;
+
+/// Algorithm 4 (wait-free quiescent HI) over hardware atomics.
+using WaitFreeHiRegister =
+    core::SwsrRegister<algo::WaitFreeHiAlg, env::ReplayEnv>;
+
+/// §5.1 max register over hardware atomics.
+using HiMaxRegister = core::BasicHiMaxRegister<env::ReplayEnv>;
+
+/// §5.1 perfect-HI set over hardware atomics.
+using HiSet = core::BasicHiSet<env::ReplayEnv>;
+
+/// Algorithm 6 (perfect-HI R-LLSC) over the 16-byte hardware word.
+using CasRllsc = algo::CasRllscAlg<env::ReplayEnv>;
+
+/// Algorithm 5 over Algorithm 6, both on the hardware packing (the
+/// RllscWordCodec<uint64_t> / 32-bit-state substitution of src/rt).
+template <spec::SequentialSpec S>
+using Universal = algo::UniversalAlg<env::ReplayEnv, S, CasRllsc>;
+
+/// The Fatourou–Kallimanis-shaped leaky baseline on the hardware packing.
+template <spec::SequentialSpec S>
+using LeakyUniversal = algo::LeakyUniversalAlg<env::ReplayEnv, S>;
+
+/// Theorem 20's strawman queue over hardware atomics.
+using StrawmanQueue = baseline::BasicStrawmanQueue<env::ReplayEnv>;
+
+/// Spec-driven harness over any CasRllscAlg instantiation (SimEnv or
+/// ReplayEnv): dispatches RllscSpec ops to the cell's pid-explicit entry
+/// points. Shared by both sides of a differential run so the operation →
+/// primitive mapping is identical by construction.
+template <typename Cell>
+class RllscHarness {
+ public:
+  using V = typename Cell::V;
+  using Op = spec::RllscSpec::Op;
+  using Resp = spec::RllscSpec::Resp;
+
+  RllscHarness(sim::Memory& memory, std::uint64_t initial)
+      : cell_(memory, "X", make_value(initial)) {}
+
+  sim::OpTask<Resp> apply(int pid, Op op) {
+    assert(pid == op.pid && "RllscSpec ops carry the invoking pid");
+    (void)pid;
+    return run(op);
+  }
+
+  Cell& cell() { return cell_; }
+
+ private:
+  static V make_value(std::uint64_t raw) {
+    if constexpr (std::is_same_v<V, algo::RllscValue>) {
+      return algo::RllscValue{raw, 0};
+    } else {
+      return static_cast<V>(raw);
+    }
+  }
+  static std::uint64_t value_lo(const V& v) {
+    if constexpr (std::is_same_v<V, algo::RllscValue>) {
+      return v.lo;
+    } else {
+      return v;
+    }
+  }
+
+  sim::OpTask<Resp> run(Op op) {
+    const int pid = op.pid;
+    switch (op.kind) {
+      case spec::RllscSpec::Kind::kLL: {
+        const V v = co_await cell_.ll(pid);
+        co_return Resp{static_cast<std::uint32_t>(value_lo(v)), true};
+      }
+      case spec::RllscSpec::Kind::kVL: {
+        const bool linked = co_await cell_.vl(pid);
+        co_return Resp{0, linked};
+      }
+      case spec::RllscSpec::Kind::kSC: {
+        const bool done = co_await cell_.sc(pid, make_value(op.arg));
+        co_return Resp{0, done};
+      }
+      case spec::RllscSpec::Kind::kRL: {
+        const bool done = co_await cell_.rl(pid);
+        co_return Resp{0, done};
+      }
+      case spec::RllscSpec::Kind::kLoad: {
+        const V v = co_await cell_.load();
+        co_return Resp{static_cast<std::uint32_t>(value_lo(v)), true};
+      }
+      case spec::RllscSpec::Kind::kStore: {
+        const bool done = co_await cell_.store(make_value(op.arg));
+        co_return Resp{0, done};
+      }
+    }
+    co_return Resp{};  // unreachable
+  }
+
+  Cell cell_;
+};
+
+}  // namespace hi::replay

@@ -27,6 +27,7 @@
 #include "sim/memory.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
+#include "sim/trace.h"
 #include "spec/spec.h"
 #include "verify/history.h"
 
@@ -93,6 +94,24 @@ class Explorer {
     return stats_;
   }
 
+  /// The decision path of the execution currently being visited — valid
+  /// inside observer/on_complete callbacks. Capture a copy there to persist
+  /// a counterexample schedule; feed it to trace_of() for replay.
+  const std::vector<Decision>& current_prefix() const { return prefix_; }
+
+  /// Re-execute `decisions` on a fresh system with trace recording enabled,
+  /// yielding the (pid, kind, object)-annotated ScheduleTrace the replay
+  /// harness consumes (verify/replay.h). Decisions must be consistent with
+  /// this explorer's workload (e.g. a prefix captured via current_prefix()).
+  ScheduleTrace trace_of(const std::vector<Decision>& decisions) {
+    ScheduleTrace trace;
+    Replay r = fresh_replay();
+    r.system->scheduler().record_to(&trace);
+    for (const Decision& d : decisions) apply_decision(r, d);
+    r.system->scheduler().record_to(nullptr);
+    return trace;
+  }
+
  private:
   struct Replay {
     std::unique_ptr<System> system;
@@ -105,10 +124,9 @@ class Explorer {
     int state_changing_pending = 0;
   };
 
-  /// Re-execute the current prefix; returns the replayed state. `observe_tail`
-  /// marks how many trailing decisions are new (never observed before), so
-  /// observations are not double-counted across re-executions.
-  Replay replay(std::size_t observe_from) {
+  /// A freshly constructed system with empty per-process bookkeeping — the
+  /// starting state of every (re-)execution.
+  Replay fresh_replay() {
     Replay r;
     r.system = factory_();
     const int n = r.system->scheduler().num_processes();
@@ -116,6 +134,14 @@ class Explorer {
     r.next_op.assign(n, 0);
     r.hist_index.assign(n, 0);
     r.state_changing.assign(n, false);
+    return r;
+  }
+
+  /// Re-execute the current prefix; returns the replayed state. `observe_tail`
+  /// marks how many trailing decisions are new (never observed before), so
+  /// observations are not double-counted across re-executions.
+  Replay replay(std::size_t observe_from) {
+    Replay r = fresh_replay();
     for (std::size_t i = 0; i < prefix_.size(); ++i) {
       apply_decision(r, prefix_[i]);
       if (i >= observe_from && observer_) {

@@ -14,6 +14,7 @@
 #include "sim/memory.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
+#include "sim/trace.h"
 #include "spec/spec.h"
 #include "util/rng.h"
 #include "verify/history.h"
@@ -56,6 +57,10 @@ class Runner {
     /// Abort the run (result.timed_out) if it exceeds this many steps —
     /// guards tests against livelock in lock-free-only algorithms.
     std::uint64_t max_steps = 5'000'000;
+    /// When non-null, every scheduling event of the run is appended as a
+    /// TraceStep — the deterministic re-execution recipe the replay harness
+    /// (verify/replay.h) marches a hardware-atomics instantiation through.
+    ScheduleTrace* trace = nullptr;
   };
 
   struct Result {
@@ -94,6 +99,7 @@ class Runner {
     }
 
     util::Xoshiro256 rng(opt.seed);
+    sched_.record_to(opt.trace);
     observe(result, slots);  // the initial configuration is quiescent
 
     int rr_cursor = 0;
@@ -154,6 +160,7 @@ class Runner {
       reap(slots[pid], pid, result);
       observe(result, slots);
     }
+    sched_.record_to(nullptr);
     result.total_steps = sched_.total_steps();
     return result;
   }

@@ -9,6 +9,12 @@
 // by local computation. This also lets adversaries inspect *which base
 // object* a process will access next before granting it a step (Lemma 16
 // needs exactly this power).
+//
+// Optional trace recording (record_to): every start()/step() appends one
+// TraceStep — (pid, start) for invocations, (pid, object, kind) for
+// primitive steps — yielding a ScheduleTrace that re-executes the
+// interleaving deterministically, including over the hardware-atomics
+// replay backend (env/replay_env.h, verify/replay.h).
 #pragma once
 
 #include <cassert>
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "sim/task.h"
+#include "sim/trace.h"
 
 namespace hi::sim {
 
@@ -39,6 +46,7 @@ class Scheduler {
     ProcessState& ps = processes_.at(pid);
     assert(!ps.active && "process already has a pending operation");
     assert(task.valid());
+    if (trace_ != nullptr) trace_->steps.push_back({pid, /*start=*/true});
     task.bind(&ps);
     ps.active = true;
     ps.done = false;
@@ -79,9 +87,19 @@ class Scheduler {
   void step(int pid) {
     ProcessState& ps = processes_.at(pid);
     assert(ps.runnable() && "step on a non-runnable process");
+    if (trace_ != nullptr) {
+      // Annotate with the primitive about to execute (pending is set at
+      // suspension, consumed by this resume).
+      trace_->steps.push_back(
+          {pid, /*start=*/false, ps.pending.object_id, ps.pending.kind});
+    }
     resume(ps);
     ++total_steps_;
   }
+
+  /// Append every subsequent start()/step() event to `trace` (nullptr stops
+  /// recording). Observer-side: recording never alters scheduling.
+  void record_to(ScheduleTrace* trace) { trace_ = trace; }
 
   /// The base object process `pid` will access on its next step (-1 if not
   /// runnable). Observer-side introspection; consumes nothing.
@@ -117,6 +135,7 @@ class Scheduler {
 
   std::vector<ProcessState> processes_;
   std::uint64_t total_steps_ = 0;
+  ScheduleTrace* trace_ = nullptr;
 };
 
 }  // namespace hi::sim

@@ -1,0 +1,156 @@
+// Shared fixtures for the schedule-replay differential suites
+// (test_replay_equivalence.cpp, test_replay_fuzz.cpp,
+// test_replay_adversary.cpp): the R-LLSC spec-harness instantiations for
+// both backends, workload generators, and the semantic comparator for the
+// universal construction (whose head packing intentionally differs per
+// backend, so per-step comparison decodes every cell through its backend's
+// codec instead of comparing raw words). Single-source so a codec change
+// cannot silently weaken one suite's comparison while the other still
+// checks the old fields.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algo/rllsc.h"
+#include "algo/universal.h"
+#include "algo/values.h"
+#include "env/sim_env.h"
+#include "register_common.h"
+#include "replay/replay_objects.h"
+#include "spec/counter_spec.h"
+#include "spec/max_register_spec.h"
+#include "spec/rllsc_spec.h"
+#include "spec/set_spec.h"
+#include "util/rng.h"
+
+namespace hi::testing {
+
+/// The R-LLSC spec harness over each backend's Algorithm 6 instantiation.
+using SimRllscHarness = replay::RllscHarness<algo::CasRllscAlg<env::SimEnv>>;
+using ReplayRllscHarness = replay::RllscHarness<replay::CasRllsc>;
+
+/// Random R-LLSC workload: a uniform mix over all six op kinds per process,
+/// ops tagged with the invoking pid (RllscSpec's Δ needs the identity).
+inline std::vector<std::vector<spec::RllscSpec::Op>> rllsc_workload(
+    int num_processes, int ops_per_process, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<spec::RllscSpec::Op>> workload(num_processes);
+  for (int pid = 0; pid < num_processes; ++pid) {
+    for (int i = 0; i < ops_per_process; ++i) {
+      const auto arg = static_cast<std::uint16_t>(rng.next_below(100));
+      switch (rng.next_below(6)) {
+        case 0: workload[pid].push_back(spec::RllscSpec::ll(pid)); break;
+        case 1: workload[pid].push_back(spec::RllscSpec::vl(pid)); break;
+        case 2: workload[pid].push_back(spec::RllscSpec::sc(pid, arg)); break;
+        case 3: workload[pid].push_back(spec::RllscSpec::rl(pid)); break;
+        case 4: workload[pid].push_back(spec::RllscSpec::load(pid)); break;
+        default:
+          workload[pid].push_back(spec::RllscSpec::store(pid, arg));
+          break;
+      }
+    }
+  }
+  return workload;
+}
+
+/// Random 2-process set workload: insert/remove/lookup over {1..domain}.
+inline std::vector<std::vector<spec::SetSpec::Op>> set_workload(
+    std::uint32_t domain, int ops_per_process, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<spec::SetSpec::Op>> workload(2);
+  for (int pid = 0; pid < 2; ++pid) {
+    for (int i = 0; i < ops_per_process; ++i) {
+      const auto v = static_cast<std::uint32_t>(rng.next_in(1, domain));
+      switch (rng.next_below(3)) {
+        case 0: workload[pid].push_back(spec::SetSpec::insert(v)); break;
+        case 1: workload[pid].push_back(spec::SetSpec::remove(v)); break;
+        default: workload[pid].push_back(spec::SetSpec::lookup(v)); break;
+      }
+    }
+  }
+  return workload;
+}
+
+/// SWSR max-register workload: `rounds` random WriteMax for the writer and
+/// as many ReadMax for the reader.
+inline std::vector<std::vector<spec::MaxRegisterSpec::Op>>
+max_register_workload(std::uint32_t num_values, int rounds,
+                      std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<spec::MaxRegisterSpec::Op>> workload(2);
+  for (int i = 0; i < rounds; ++i) {
+    workload[kWriterPid].push_back(spec::MaxRegisterSpec::write_max(
+        static_cast<std::uint32_t>(rng.next_in(1, num_values))));
+    workload[kReaderPid].push_back(spec::MaxRegisterSpec::read_max());
+  }
+  return workload;
+}
+
+/// Random counter workload (inc-heavy mix with reads and decs) for the
+/// universal-construction differentials.
+inline std::vector<std::vector<spec::CounterSpec::Op>> counter_workload(
+    int num_processes, int ops_per_process, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<spec::CounterSpec::Op>> workload(num_processes);
+  for (int pid = 0; pid < num_processes; ++pid) {
+    for (int i = 0; i < ops_per_process; ++i) {
+      switch (rng.next_below(4)) {
+        case 0: workload[pid].push_back(spec::CounterSpec::read()); break;
+        case 1: workload[pid].push_back(spec::CounterSpec::dec()); break;
+        default: workload[pid].push_back(spec::CounterSpec::inc()); break;
+      }
+    }
+  }
+  return workload;
+}
+
+/// Per-step semantic comparator for Algorithm 5: decode the head through
+/// each backend's RllscWordCodec, compare decoded head fields, context
+/// bitmasks, and announce-cell tags/payloads. Suitable mid-operation (the
+/// cells hold codec-corresponding values at every step of a lockstep run).
+template <typename SimUni, typename ReplayUni>
+auto universal_semantic_compare(const SimUni& sim_obj,
+                                const ReplayUni& replay_obj) {
+  return [&sim_obj, &replay_obj]() -> std::optional<std::string> {
+    using SimCodec = algo::RllscWordCodec<algo::RllscValue>;
+    using ReplayCodec = algo::RllscWordCodec<std::uint64_t>;
+    const auto sim_words = sim_obj.memory_words();
+    const auto replay_words = replay_obj.memory_words();
+    if (sim_words.size() != replay_words.size()) {
+      return std::string("cell count diverges");
+    }
+    const algo::HeadView sim_head = SimCodec::decode_head(sim_words[0].value);
+    const algo::HeadView replay_head =
+        ReplayCodec::decode_head(replay_words[0].value);
+    if (sim_head.state != replay_head.state ||
+        sim_head.has_response != replay_head.has_response ||
+        (sim_head.has_response && (sim_head.rsp != replay_head.rsp ||
+                                   sim_head.pid != replay_head.pid))) {
+      return std::string("decoded head diverges");
+    }
+    for (std::size_t i = 0; i < sim_words.size(); ++i) {
+      if (sim_words[i].ctx != replay_words[i].ctx) {
+        return "context bitmask diverges at cell " + std::to_string(i);
+      }
+    }
+    for (std::size_t i = 1; i < sim_words.size(); ++i) {
+      const auto& sim_cell = sim_words[i].value;
+      const auto& replay_cell = replay_words[i].value;
+      if (SimCodec::is_bottom(sim_cell) != ReplayCodec::is_bottom(replay_cell) ||
+          SimCodec::is_op(sim_cell) != ReplayCodec::is_op(replay_cell) ||
+          SimCodec::is_resp(sim_cell) != ReplayCodec::is_resp(replay_cell)) {
+        return "announce tag diverges at cell " + std::to_string(i);
+      }
+      if (!SimCodec::is_bottom(sim_cell) &&
+          SimCodec::payload(sim_cell) != ReplayCodec::payload(replay_cell)) {
+        return "announce payload diverges at cell " + std::to_string(i);
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+}  // namespace hi::testing

@@ -1,0 +1,425 @@
+// Schedule-replay equivalence (the concurrency analogue of the sequential
+// parity suite): recorded sim interleavings — random Runner schedules and
+// exhaustive-explorer Decision paths — re-execute over the ReplayEnv
+// backend (the SAME std::atomic cells and codecs as RtEnv, driven
+// step-by-step by a sim::Scheduler), and the differential driver
+// (verify/replay.h) checks after EVERY step that both backends are about to
+// execute the same primitive on the same base object, complete operations
+// at the same step with equal responses, and hold equal memory:
+// word-for-word mem(C) for the binary-register objects and the standalone
+// R-LLSC (whose per-backend encodings coincide), semantic (codec-decoded)
+// for the universal constructions whose head packing differs per backend.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algo/universal.h"
+#include "baseline/leaky_universal.h"
+#include "baseline/strawman_queue.h"
+#include "core/hi_register_lockfree.h"
+#include "core/hi_register_waitfree.h"
+#include "core/hi_set.h"
+#include "core/max_register.h"
+#include "core/rllsc.h"
+#include "core/universal.h"
+#include "core/vidyasankar.h"
+#include "register_common.h"
+#include "replay/replay_objects.h"
+#include "replay_common.h"
+#include "sim/explorer.h"
+#include "sim/harness.h"
+#include "sim/memory.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+#include "spec/counter_spec.h"
+#include "spec/max_register_spec.h"
+#include "spec/register_spec.h"
+#include "spec/rllsc_spec.h"
+#include "spec/set_spec.h"
+#include "util/rng.h"
+#include "verify/replay.h"
+
+namespace hi {
+namespace {
+
+using testing::kReaderPid;
+using testing::kWriterPid;
+
+/// Record the schedule of a random-policy Runner run over `impl`.
+template <spec::SequentialSpec S, typename Impl>
+sim::ScheduleTrace record_runner_trace(
+    const S& spec, sim::Memory& memory, sim::Scheduler& sched, Impl& impl,
+    const std::vector<std::vector<typename S::Op>>& workload,
+    std::uint64_t seed) {
+  sim::ScheduleTrace trace;
+  sim::Runner<S, Impl> runner(spec, memory, sched, impl,
+                              [](const auto&) { return 0; });
+  typename sim::Runner<S, Impl>::Options opt;
+  opt.seed = seed;
+  opt.trace = &trace;
+  const auto result = runner.run(workload, opt);
+  EXPECT_FALSE(result.timed_out) << "recording run hit the step cap";
+  return trace;
+}
+
+// ---- §4 registers: word-for-word per-step mem(C) equality ----
+
+template <typename SimImpl, typename ReplayImpl>
+void register_replay_roundtrip(std::uint32_t k, std::size_t num_writes,
+                               std::size_t num_reads, std::uint64_t seed) {
+  const spec::RegisterSpec spec(k, 1);
+  const auto workload =
+      testing::register_workload(k, num_writes, num_reads, seed);
+
+  sim::ScheduleTrace trace;
+  {
+    testing::RegisterSystem<SimImpl> recorder(k);
+    trace = record_runner_trace(spec, recorder.memory, recorder.sched,
+                                recorder.impl, workload, seed);
+  }
+  ASSERT_FALSE(trace.empty());
+
+  testing::RegisterSystem<SimImpl> sim_sys(k);
+  sim::Memory replay_memory;
+  sim::Scheduler replay_sched(2);
+  ReplayImpl replay_impl(replay_memory, spec, kWriterPid, kReaderPid);
+
+  const verify::ReplayReport report = verify::replay_differential(
+      spec, sim_sys.sched, sim_sys.impl, replay_sched, replay_impl, workload,
+      trace, verify::snapshot_word_compare(sim_sys.memory, replay_memory));
+  EXPECT_TRUE(report.ok) << report.message << "\ntrace:\n" << trace.pretty();
+  EXPECT_GT(report.steps_executed, 0u);
+  EXPECT_EQ(report.responses_compared, num_writes + num_reads);
+}
+
+TEST(ReplayEquivalence, VidyasankarRecordedSchedules) {
+  register_replay_roundtrip<core::VidyasankarRegister,
+                            replay::VidyasankarRegister>(5, 8, 6, 101);
+  register_replay_roundtrip<core::VidyasankarRegister,
+                            replay::VidyasankarRegister>(3, 6, 8, 102);
+}
+
+TEST(ReplayEquivalence, LockFreeHiRegisterRecordedSchedules) {
+  register_replay_roundtrip<core::LockFreeHiRegister,
+                            replay::LockFreeHiRegister>(5, 8, 6, 201);
+  register_replay_roundtrip<core::LockFreeHiRegister,
+                            replay::LockFreeHiRegister>(4, 10, 4, 202);
+}
+
+TEST(ReplayEquivalence, WaitFreeHiRegisterRecordedSchedules) {
+  register_replay_roundtrip<core::WaitFreeHiRegister,
+                            replay::WaitFreeHiRegister>(5, 8, 6, 301);
+  register_replay_roundtrip<core::WaitFreeHiRegister,
+                            replay::WaitFreeHiRegister>(4, 6, 6, 302);
+}
+
+// ---- §5.1 max register and perfect-HI set ----
+
+TEST(ReplayEquivalence, MaxRegisterRecordedSchedules) {
+  const std::uint32_t k = 8;
+  const spec::MaxRegisterSpec spec(k, 1);
+  const auto workload = testing::max_register_workload(k, 10, 41);
+
+  sim::ScheduleTrace trace;
+  {
+    sim::Memory memory;
+    sim::Scheduler sched(2);
+    core::HiMaxRegister impl(memory, spec, kWriterPid, kReaderPid);
+    trace = record_runner_trace(spec, memory, sched, impl, workload, 42);
+  }
+
+  sim::Memory sim_memory;
+  sim::Scheduler sim_sched(2);
+  core::HiMaxRegister sim_impl(sim_memory, spec, kWriterPid, kReaderPid);
+  sim::Memory replay_memory;
+  sim::Scheduler replay_sched(2);
+  replay::HiMaxRegister replay_impl(replay_memory, spec, kWriterPid,
+                                    kReaderPid);
+
+  const verify::ReplayReport report = verify::replay_differential(
+      spec, sim_sched, sim_impl, replay_sched, replay_impl, workload, trace,
+      verify::snapshot_word_compare(sim_memory, replay_memory));
+  EXPECT_TRUE(report.ok) << report.message << "\ntrace:\n" << trace.pretty();
+  EXPECT_EQ(report.responses_compared, 20u);
+}
+
+TEST(ReplayEquivalence, HiSetRecordedSchedules) {
+  const std::uint32_t domain = 10;
+  const spec::SetSpec spec(domain);
+  const auto workload = testing::set_workload(domain, 10, 51);
+
+  sim::ScheduleTrace trace;
+  {
+    sim::Memory memory;
+    sim::Scheduler sched(2);
+    core::HiSet impl(memory, spec);
+    trace = record_runner_trace(spec, memory, sched, impl, workload, 52);
+  }
+
+  sim::Memory sim_memory;
+  sim::Scheduler sim_sched(2);
+  core::HiSet sim_impl(sim_memory, spec);
+  sim::Memory replay_memory;
+  sim::Scheduler replay_sched(2);
+  replay::HiSet replay_impl(replay_memory, spec);
+
+  const verify::ReplayReport report = verify::replay_differential(
+      spec, sim_sched, sim_impl, replay_sched, replay_impl, workload, trace,
+      verify::snapshot_word_compare(sim_memory, replay_memory));
+  EXPECT_TRUE(report.ok) << report.message << "\ntrace:\n" << trace.pretty();
+  EXPECT_EQ(report.responses_compared, 20u);
+}
+
+// ---- Algorithm 6 (R-LLSC): the acceptance case — a 16-byte hardware CAS
+// word marching in word-for-word lockstep with the simulated wide cell,
+// including the failure-word CAS retry interleavings. ----
+
+using testing::ReplayRllscHarness;
+using testing::SimRllscHarness;
+
+TEST(ReplayEquivalence, RllscRecordedSchedules) {
+  const int n = 3;
+  const spec::RllscSpec spec(100, n, 7);
+  for (const std::uint64_t seed : {61u, 62u, 63u}) {
+    const auto workload = testing::rllsc_workload(n, 8, seed);
+
+    sim::ScheduleTrace trace;
+    {
+      sim::Memory memory;
+      sim::Scheduler sched(n);
+      SimRllscHarness impl(memory, 7);
+      trace = record_runner_trace(spec, memory, sched, impl, workload, seed);
+    }
+
+    sim::Memory sim_memory;
+    sim::Scheduler sim_sched(n);
+    SimRllscHarness sim_impl(sim_memory, 7);
+    sim::Memory replay_memory;
+    sim::Scheduler replay_sched(n);
+    ReplayRllscHarness replay_impl(replay_memory, 7);
+
+    const verify::ReplayReport report = verify::replay_differential(
+        spec, sim_sched, sim_impl, replay_sched, replay_impl, workload, trace,
+        verify::snapshot_word_compare(sim_memory, replay_memory));
+    EXPECT_TRUE(report.ok)
+        << report.message << "\ntrace:\n" << trace.pretty();
+    EXPECT_EQ(report.responses_compared, static_cast<std::uint64_t>(n) * 8);
+  }
+}
+
+// ---- Universal constructions: heads pack differently per backend (two-word
+// sim values vs the packed 64-bit hardware word), so the per-step comparison
+// decodes every cell through its backend's codec
+// (testing::universal_semantic_compare, replay_common.h). ----
+
+TEST(ReplayEquivalence, UniversalRecordedSchedules) {
+  const spec::CounterSpec spec(1u << 20, 10);
+  const int n = 3;
+  for (const std::uint64_t seed : {71u, 72u}) {
+    const auto workload = testing::counter_workload(n, 4, seed);
+
+    sim::ScheduleTrace trace;
+    {
+      sim::Memory memory;
+      sim::Scheduler sched(n);
+      core::Universal<spec::CounterSpec, core::CasRllsc> impl(memory, spec, n);
+      trace = record_runner_trace(spec, memory, sched, impl, workload, seed);
+    }
+
+    sim::Memory sim_memory;
+    sim::Scheduler sim_sched(n);
+    core::Universal<spec::CounterSpec, core::CasRllsc> sim_impl(sim_memory,
+                                                                spec, n);
+    sim::Memory replay_memory;
+    sim::Scheduler replay_sched(n);
+    replay::Universal<spec::CounterSpec> replay_impl(replay_memory, spec, n);
+
+    const verify::ReplayReport report = verify::replay_differential(
+        spec, sim_sched, sim_impl, replay_sched, replay_impl, workload, trace,
+        testing::universal_semantic_compare(sim_impl, replay_impl));
+    EXPECT_TRUE(report.ok)
+        << report.message << "\ntrace:\n" << trace.pretty();
+    EXPECT_EQ(report.responses_compared, static_cast<std::uint64_t>(n) * 4);
+  }
+}
+
+TEST(ReplayEquivalence, LeakyUniversalRecordedSchedules) {
+  const spec::CounterSpec spec(1u << 20, 10);
+  const int n = 3;
+  const auto workload = testing::counter_workload(n, 5, 81);
+
+  sim::ScheduleTrace trace;
+  {
+    sim::Memory memory;
+    sim::Scheduler sched(n);
+    baseline::LeakyUniversal<spec::CounterSpec> impl(memory, spec, n);
+    trace = record_runner_trace(spec, memory, sched, impl, workload, 82);
+  }
+
+  sim::Memory sim_memory;
+  sim::Scheduler sim_sched(n);
+  baseline::LeakyUniversal<spec::CounterSpec> sim_impl(sim_memory, spec, n);
+  sim::Memory replay_memory;
+  sim::Scheduler replay_sched(n);
+  replay::LeakyUniversal<spec::CounterSpec> replay_impl(replay_memory, spec, n);
+
+  // Semantic comparison over the decoded leak fields: the LEAK itself must
+  // reproduce identically on the hardware cells, per step.
+  const auto compare = [&]() -> std::optional<std::string> {
+    if (sim_impl.head_state_encoded() != replay_impl.head_state_encoded()) {
+      return std::string("head state diverges");
+    }
+    if (sim_impl.version() != replay_impl.version()) {
+      return std::string("version (the leak) diverges");
+    }
+    for (int i = 0; i < n; ++i) {
+      if (sim_impl.peek_announce(i) != replay_impl.peek_announce(i)) {
+        return "announce[" + std::to_string(i) + "] diverges";
+      }
+      if (sim_impl.peek_result(i) != replay_impl.peek_result(i)) {
+        return "result[" + std::to_string(i) + "] diverges";
+      }
+    }
+    return std::nullopt;
+  };
+  const verify::ReplayReport report = verify::replay_differential(
+      spec, sim_sched, sim_impl, replay_sched, replay_impl, workload, trace,
+      compare);
+  EXPECT_TRUE(report.ok) << report.message << "\ntrace:\n" << trace.pretty();
+  EXPECT_GT(sim_impl.version(), 0u);
+}
+
+// ---- Explorer Decision paths: EVERY interleaving of a small workload,
+// replayed over hardware atomics (the acceptance case for Alg 2/3). ----
+
+struct ExplorerRegSystem {
+  spec::RegisterSpec spec;
+  sim::Memory mem;
+  sim::Scheduler sched;
+  core::LockFreeHiRegister impl;
+
+  explicit ExplorerRegSystem(std::uint32_t k)
+      : spec(k, 1), sched(2), impl(mem, spec, kWriterPid, kReaderPid) {}
+  sim::Scheduler& scheduler() { return sched; }
+  sim::Memory& memory() { return mem; }
+  sim::OpTask<std::uint32_t> apply(int pid, spec::RegisterSpec::Op op) {
+    return impl.apply(pid, op);
+  }
+};
+
+TEST(ReplayEquivalence, ExplorerPathsLockFreeHiRegisterAllSchedules) {
+  const std::uint32_t k = 3;
+  const spec::RegisterSpec spec(k, 1);
+  const std::vector<std::vector<spec::RegisterSpec::Op>> workload = {
+      {spec::RegisterSpec::write(2)}, {spec::RegisterSpec::read()}};
+
+  sim::Explorer<spec::RegisterSpec, ExplorerRegSystem> explorer(
+      spec, [k] { return std::make_unique<ExplorerRegSystem>(k); }, workload);
+
+  std::vector<std::vector<sim::Decision>> prefixes;
+  const auto stats = explorer.explore(
+      {.max_depth = 40, .max_executions = 200'000}, nullptr,
+      [&](ExplorerRegSystem&, const auto&) {
+        prefixes.push_back(explorer.current_prefix());
+      });
+  ASSERT_TRUE(stats.exhausted);
+  ASSERT_GE(prefixes.size(), 20u);
+
+  for (const auto& prefix : prefixes) {
+    const sim::ScheduleTrace trace = explorer.trace_of(prefix);
+    testing::RegisterSystem<core::LockFreeHiRegister> sim_sys(k);
+    sim::Memory replay_memory;
+    sim::Scheduler replay_sched(2);
+    replay::LockFreeHiRegister replay_impl(replay_memory, spec, kWriterPid,
+                                           kReaderPid);
+    const verify::ReplayReport report = verify::replay_differential(
+        spec, sim_sys.sched, sim_sys.impl, replay_sched, replay_impl, workload,
+        trace, verify::snapshot_word_compare(sim_sys.memory, replay_memory));
+    ASSERT_TRUE(report.ok)
+        << report.message << "\ntrace:\n" << trace.pretty();
+  }
+}
+
+// ---- A hand-written ScheduleTrace literal (the persisted-counterexample
+// format): the Figure 1 leak interleaving of Algorithm 1, with a concurrent
+// read landing between the two writes. The replay backend must leave the
+// same leaked [1,1,0] image in the atomic cells. ----
+
+TEST(ReplayEquivalence, HandWrittenTraceLiteralReplays) {
+  const spec::RegisterSpec spec(3, 1);
+  const std::vector<std::vector<spec::RegisterSpec::Op>> workload = {
+      {spec::RegisterSpec::write(2), spec::RegisterSpec::write(1)},
+      {spec::RegisterSpec::read()}};
+  const sim::ScheduleTrace trace{{
+      {0, true}, {0, false, 1, "write"}, {1, true}, {1, false, 0, "read"},
+      {0, false, 0, "write"}, {0, true}, {0, false, 0, "write"},
+  }};
+
+  testing::RegisterSystem<core::VidyasankarRegister> sim_sys(3);
+  sim::Memory replay_memory;
+  sim::Scheduler replay_sched(2);
+  replay::VidyasankarRegister replay_impl(replay_memory, spec, kWriterPid,
+                                          kReaderPid);
+  const verify::ReplayReport report = verify::replay_differential(
+      spec, sim_sys.sched, sim_sys.impl, replay_sched, replay_impl, workload,
+      trace, verify::snapshot_word_compare(sim_sys.memory, replay_memory));
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_EQ(report.steps_executed, 4u);
+  EXPECT_EQ(report.responses_compared, 3u);
+  // The leak reproduced on the hardware cells, word-for-word.
+  EXPECT_EQ(replay_memory.snapshot().words,
+            (std::vector<std::uint64_t>{1, 1, 0}));
+}
+
+// ---- Driver self-check: a corrupted annotation must be rejected, not
+// silently replayed (the determinism cross-check that makes a persisted
+// trace trustworthy as a regression artifact). ----
+
+TEST(ReplayEquivalence, CorruptedTraceAnnotationIsRejected) {
+  const spec::RegisterSpec spec(3, 1);
+  const std::vector<std::vector<spec::RegisterSpec::Op>> workload = {
+      {spec::RegisterSpec::write(2)}, {}};
+  sim::ScheduleTrace trace{{
+      {0, true}, {0, false, 2, "write"},  // write(2)'s first step hits A[2]
+                                          // (object 1), not object 2
+  }};
+
+  testing::RegisterSystem<core::VidyasankarRegister> sim_sys(3);
+  sim::Memory replay_memory;
+  sim::Scheduler replay_sched(2);
+  replay::VidyasankarRegister replay_impl(replay_memory, spec, kWriterPid,
+                                          kReaderPid);
+  const verify::ReplayReport report = verify::replay_differential(
+      spec, sim_sys.sched, sim_sys.impl, replay_sched, replay_impl, workload,
+      trace, verify::snapshot_word_compare(sim_sys.memory, replay_memory));
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("deviates"), std::string::npos)
+      << report.message;
+}
+
+TEST(ReplayEquivalence, OutOfRangePidInTraceIsRejected) {
+  // A pid typo in a hand-persisted literal must be rejected cleanly, not
+  // indexed with.
+  const spec::RegisterSpec spec(3, 1);
+  const std::vector<std::vector<spec::RegisterSpec::Op>> workload = {
+      {spec::RegisterSpec::write(2)}, {}};
+  const sim::ScheduleTrace trace{{{2, true}}};
+
+  testing::RegisterSystem<core::VidyasankarRegister> sim_sys(3);
+  sim::Memory replay_memory;
+  sim::Scheduler replay_sched(2);
+  replay::VidyasankarRegister replay_impl(replay_memory, spec, kWriterPid,
+                                          kReaderPid);
+  const verify::ReplayReport report = verify::replay_differential(
+      spec, sim_sys.sched, sim_sys.impl, replay_sched, replay_impl, workload,
+      trace, verify::snapshot_word_compare(sim_sys.memory, replay_memory));
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("pid"), std::string::npos) << report.message;
+}
+
+}  // namespace
+}  // namespace hi

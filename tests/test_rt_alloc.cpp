@@ -22,13 +22,18 @@
 #include <vector>
 
 #include "env/rt_env.h"
+#include "replay/replay_objects.h"
 #include "rt/baselines_rt.h"
 #include "rt/hi_set_rt.h"
 #include "rt/max_register_rt.h"
 #include "rt/registers_rt.h"
 #include "rt/rllsc_rt.h"
 #include "rt/universal_rt.h"
+#include "sim/harness.h"
+#include "sim/memory.h"
+#include "sim/scheduler.h"
 #include "spec/counter_spec.h"
+#include "spec/register_spec.h"
 
 namespace hi {
 namespace {
@@ -207,6 +212,48 @@ TEST(RtAllocSteadyState, LeakyUniversal) {
   EXPECT_EQ(0u, steady_state_allocs([&](int) {
               (void)object.apply(0, spec::CounterSpec::inc());
             }));
+}
+
+// ---- ReplayEnv exemption: suspending frames are heap-backed BY DESIGN ----
+
+// docs/ENV.md "ReplayEnv: allocation contract": the steady-state
+// allocs_per_op == 0 gate applies ONLY to RtEnv's EagerTask frames. A
+// ReplayEnv coroutine is a sim::OpTask/sim::SubTask whose frame must
+// survive arbitrarily many scheduler steps (and may be abandoned
+// mid-operation), so it is an ordinary heap allocation — recycling it
+// through the same-thread FrameArena free list would be unsound the moment
+// a harness destroyed it from another thread or drained the arena under a
+// live suspended frame. This test pins the exemption in both directions:
+// replay operations DO allocate per op, and none of that traffic touches
+// the calling thread's FrameArena books (so the arena invariants the churn
+// test checks stay exact even in binaries that mix both backends).
+TEST(RtAllocReplayExemption, ReplayFramesAreHeapBackedAndBypassTheArena) {
+  const spec::RegisterSpec spec(8, 1);
+  sim::Memory memory;
+  sim::Scheduler sched(2);
+  replay::LockFreeHiRegister reg(memory, spec, /*writer_pid=*/0,
+                                 /*reader_pid=*/1);
+
+  for (int i = 0; i < 64; ++i) {  // warmup, mirroring the rt contracts
+    (void)sim::run_solo(sched, 0, reg.write(0, (i % 8) + 1));
+    (void)sim::run_solo(sched, 1, reg.read(1));
+  }
+  const auto arena_before = env::FrameArena::local().stats();
+  const util::AllocTally tally;
+  constexpr int kOps = 256;
+  for (int i = 0; i < kOps; ++i) {
+    (void)sim::run_solo(sched, 0, reg.write(0, (i % 8) + 1));
+    (void)sim::run_solo(sched, 1, reg.read(1));
+  }
+  // Heap-backed: at least one allocation per operation (Op frame; reads add
+  // a TryRead Sub frame).
+  EXPECT_GE(tally.allocs(), static_cast<std::uint64_t>(2 * kOps));
+  EXPECT_EQ(tally.allocs(), tally.frees()) << "replay frames must not leak";
+  // And none of it went through the arena.
+  const auto arena_after = env::FrameArena::local().stats();
+  EXPECT_EQ(arena_after.outstanding, arena_before.outstanding);
+  EXPECT_EQ(arena_after.fresh_slabs, arena_before.fresh_slabs);
+  EXPECT_EQ(arena_after.reuse_hits, arena_before.reuse_hits);
 }
 
 // ---- Multi-thread churn: arenas neither leak nor double-free ----
