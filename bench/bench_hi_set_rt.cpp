@@ -59,27 +59,56 @@ void BM_Lookup(benchmark::State& state) {
 BENCHMARK(BM_Lookup)->Name("lookup")->Threads(1)->Threads(8)->UseRealTime();
 
 /// Machine-readable results (BENCH_hi_set.json) for cross-PR tracking.
+///
+/// The packed default makes the whole set ONE atomic word (8 bytes vs 4 KiB
+/// of padded cells at t=64) — but disjoint-element writers then serialize
+/// on that word's cache line, while the padded layout gives each element
+/// its own line. The *_padded rows measure the SAME striped workload on
+/// both layouts so the false-sharing-free vs word-contention tradeoff is a
+/// same-run comparison (docs/PERF.md "padded vs packed"); the /d16 rows
+/// scale the domain down to show packing is domain-independent one-word
+/// cost while the padded footprint scales linearly.
 void emit_bench_json() {
   util::BenchReport report("hi_set");
-  for (const int threads : {1, 2, 4}) {
-    rt::RtHiSet set(kDomain);
-    report.add(util::measure_throughput(
-        "insert_remove", threads, 100'000, [&set](int tid, std::size_t i) {
-          const std::uint32_t v =
-              ((static_cast<std::uint32_t>(tid) * 8) +
-               (static_cast<std::uint32_t>(i) % 8)) % kDomain + 1;
-          benchmark::DoNotOptimize(set.insert(v));
-          benchmark::DoNotOptimize(set.remove(v));
-        }));
-  }
-  {
-    rt::RtHiSet set(kDomain, 0x5555555555555555ull);
-    report.add(util::measure_throughput(
-        "lookup", 1, 200'000, [&set](int, std::size_t i) {
+  const auto insert_remove_rows = [&report](const char* name, auto make_set,
+                                            std::uint32_t domain) {
+    for (const int threads : {1, 2, 4}) {
+      auto set = make_set();
+      auto result = util::measure_throughput(
+          name, threads, 100'000, [&set, domain](int tid, std::size_t i) {
+            const std::uint32_t v =
+                ((static_cast<std::uint32_t>(tid) * 8) +
+                 (static_cast<std::uint32_t>(i) % 8)) % domain + 1;
+            benchmark::DoNotOptimize(set.insert(v));
+            benchmark::DoNotOptimize(set.remove(v));
+          });
+      result.bytes_per_object = set.memory_bytes();
+      report.add(std::move(result));
+    }
+  };
+  insert_remove_rows("insert_remove", [] { return rt::RtHiSet(kDomain); },
+                     kDomain);
+  insert_remove_rows("insert_remove_padded",
+                     [] { return rt::RtHiSetPadded(kDomain); }, kDomain);
+  insert_remove_rows("insert_remove/d16", [] { return rt::RtHiSet(16); }, 16);
+
+  const auto lookup_row = [&report](const char* name, auto make_set,
+                                    std::uint32_t domain) {
+    auto set = make_set();
+    auto result = util::measure_throughput(
+        name, 1, 200'000, [&set, domain](int, std::size_t i) {
           benchmark::DoNotOptimize(
-              set.lookup(static_cast<std::uint32_t>(i % kDomain) + 1));
-        }));
-  }
+              set.lookup(static_cast<std::uint32_t>(i % domain) + 1));
+        });
+    result.bytes_per_object = set.memory_bytes();
+    report.add(std::move(result));
+  };
+  lookup_row("lookup",
+             [] { return rt::RtHiSet(kDomain, 0x5555555555555555ull); },
+             kDomain);
+  lookup_row("lookup_padded",
+             [] { return rt::RtHiSetPadded(kDomain, 0x5555555555555555ull); },
+             kDomain);
   report.write();
 }
 

@@ -56,35 +56,55 @@ void BM_AbsorbedWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_AbsorbedWrite)->Name("absorbed_write")->Threads(1)->UseRealTime();
 
-/// Machine-readable results (BENCH_max_register.json) for cross-PR tracking.
+/// Machine-readable results (BENCH_max_register.json) for cross-PR
+/// tracking. The read_max/K* rows scale the domain (packed layout, the
+/// default): ReadMax at maximum m = K/2 costs O(m/64) word loads, so the
+/// packed rows stay nearly flat in K where the padded comparison row
+/// (read_max_padded/K1024, same run) pays one padded cache line per bin.
 void emit_bench_json() {
   util::BenchReport report("max_register");
-  {
-    rt::RtMaxRegister reg(kValues, 1);
-    reg.write_max(kValues / 2);
-    report.add(util::measure_throughput(
-        "read_max", 1, 200'000,
-        [&reg](int, std::size_t) { benchmark::DoNotOptimize(reg.read_max()); }));
+  const auto read_row = [&report](const char* name, auto make_reg,
+                                  std::uint32_t k, std::size_t ops) {
+    auto reg = make_reg();
+    reg.write_max(k / 2);
+    auto result = util::measure_throughput(
+        name, 1, ops,
+        [&reg](int, std::size_t) { benchmark::DoNotOptimize(reg.read_max()); });
+    result.bytes_per_object = reg.memory_bytes();
+    report.add(std::move(result));
+  };
+  read_row("read_max", [] { return rt::RtMaxRegister(kValues, 1); }, kValues,
+           200'000);
+  for (const std::uint32_t k : {16u, 256u, 1024u}) {
+    const std::string name = "read_max/K" + std::to_string(k);
+    read_row(name.c_str(), [k] { return rt::RtMaxRegister(k, 1); }, k,
+             k >= 1024 ? 50'000 : 200'000);
   }
+  read_row("read_max_padded/K1024",
+           [] { return rt::RtMaxRegisterPadded(1024, 1); }, 1024, 20'000);
   {
     rt::RtMaxRegister reg(kValues);
     reg.write_max(kValues);
-    report.add(util::measure_throughput(
+    auto result = util::measure_throughput(
         "absorbed_write", 1, 200'000,
-        [&reg](int, std::size_t) { reg.write_max(1); }));
+        [&reg](int, std::size_t) { reg.write_max(1); });
+    result.bytes_per_object = reg.memory_bytes();
+    report.add(std::move(result));
   }
   {
     // SWSR under contention: thread 0 writes a slowly rising maximum,
     // thread 1 reads concurrently.
     rt::RtMaxRegister reg(kValues, 1, /*writer_pid=*/0, /*reader_pid=*/1);
-    report.add(util::measure_throughput(
+    auto result = util::measure_throughput(
         "swsr_mixed", 2, 100'000, [&reg](int tid, std::size_t i) {
           if (tid == 0) {
             reg.write_max(static_cast<std::uint32_t>(i % kValues) + 1);
           } else {
             benchmark::DoNotOptimize(reg.read_max());
           }
-        }));
+        });
+    result.bytes_per_object = reg.memory_bytes();
+    report.add(std::move(result));
   }
   report.write();
 }

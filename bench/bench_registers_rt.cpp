@@ -97,13 +97,16 @@ BENCHMARK(contended<rt::RtWaitFreeHiRegister>)->Name("alg4/contended_write");
 // ---- Progress-shape section: read attempts under a hot writer ----
 
 void print_attempt_distribution() {
+  // The padded-per-bit instantiation: with the packed layout and K ≤ 64 a
+  // TryRead is a single full-array word snapshot and can never fail, so the
+  // lock-free long tail only shows on the per-bit layout (or packed K > 64).
   std::printf(
-      "=== read progress under a hot writer (K=%u) ===\n"
+      "=== read progress under a hot writer (K=%u, padded layout) ===\n"
       "Algorithm 2: TryRead attempts until success (lock-free: long tail);\n"
       "Algorithm 4: reads always complete (wait-free, helped via B).\n\n",
       kValues);
   {
-    rt::RtLockFreeHiRegister reg(kValues);
+    rt::RtLockFreeHiRegisterPadded reg(kValues);
     std::atomic<bool> stop{false};
     std::thread writer([&] {
       util::Xoshiro256 rng(3);
@@ -164,43 +167,83 @@ void print_attempt_distribution() {
 }
 
 /// Machine-readable results (BENCH_registers.json) for cross-PR tracking.
+/// The K-suffixed rows are the large-domain packed-vs-padded comparison:
+/// packed scans are O(K/64) word loads over contiguous lines, padded scans
+/// O(K) loads over one padded cache line per bin — at K=1024 that is 128 B
+/// vs 64 KiB of register (bytes_per_object) and the solo-read gap the
+/// ISSUE's ≥5× acceptance row measures (both layouts benched in this run).
 void emit_bench_json() {
   util::BenchReport report("registers");
-  const auto solo = [&report](const char* name, auto make_reg, bool reads) {
+  const auto solo = [&report](const char* name, auto make_reg,
+                              std::uint32_t k, bool reads,
+                              std::size_t ops = 100'000) {
     auto reg = make_reg();
     util::Xoshiro256 rng(9);
-    report.add(util::measure_throughput(
-        name, 1, 100'000, [&](int, std::size_t) {
+    auto result = util::measure_throughput(
+        name, 1, ops, [&](int, std::size_t) {
           if (reads) {
-            benchmark::DoNotOptimize(reg.read());
+            if constexpr (requires { reg.read(std::uint64_t{1}); }) {
+              benchmark::DoNotOptimize(reg.read(/*max_attempts=*/1));
+            } else {
+              benchmark::DoNotOptimize(reg.read());
+            }
           } else {
-            reg.write(static_cast<std::uint32_t>(rng.next_in(1, kValues)));
+            reg.write(static_cast<std::uint32_t>(rng.next_in(1, k)));
           }
-        }));
+        });
+    result.bytes_per_object = reg.memory_bytes();
+    report.add(std::move(result));
   };
   solo("alg1/solo_write",
-       [] { return rt::RtVidyasankarRegister(kValues, kValues / 2); }, false);
+       [] { return rt::RtVidyasankarRegister(kValues, kValues / 2); },
+       kValues, false);
   solo("alg2/solo_write",
-       [] { return rt::RtLockFreeHiRegister(kValues, kValues / 2); }, false);
+       [] { return rt::RtLockFreeHiRegister(kValues, kValues / 2); },
+       kValues, false);
   solo("alg4/solo_write",
-       [] { return rt::RtWaitFreeHiRegister(kValues, kValues / 2); }, false);
+       [] { return rt::RtWaitFreeHiRegister(kValues, kValues / 2); },
+       kValues, false);
   solo("alg1/solo_read",
-       [] { return rt::RtVidyasankarRegister(kValues, kValues / 2); }, true);
+       [] { return rt::RtVidyasankarRegister(kValues, kValues / 2); },
+       kValues, true);
   solo("alg4/solo_read",
-       [] { return rt::RtWaitFreeHiRegister(kValues, kValues / 2); }, true);
+       [] { return rt::RtWaitFreeHiRegister(kValues, kValues / 2); },
+       kValues, true);
+
+  // ---- large-domain scaling: packed rows at K ∈ {16, 256, 1024}, plus
+  // the padded-per-bit equivalents at K=1024 measured in the SAME run so
+  // the packed/padded ratio is an apples-to-apples same-binary number ----
+  for (const std::uint32_t k : {16u, 256u, 1024u}) {
+    const std::string suffix = "/K" + std::to_string(k);
+    solo(("alg2/solo_read" + suffix).c_str(),
+         [k] { return rt::RtLockFreeHiRegister(k, k / 2); }, k, true,
+         k >= 1024 ? 50'000 : 100'000);
+    solo(("alg2/solo_write" + suffix).c_str(),
+         [k] { return rt::RtLockFreeHiRegister(k, k / 2); }, k, false,
+         k >= 1024 ? 50'000 : 100'000);
+  }
+  solo("alg2_padded/solo_read/K1024",
+       [] { return rt::RtLockFreeHiRegisterPadded(1024, 512); }, 1024, true,
+       20'000);
+  solo("alg2_padded/solo_write/K1024",
+       [] { return rt::RtLockFreeHiRegisterPadded(1024, 512); }, 1024, false,
+       20'000);
+
   {
     // SWSR under genuine concurrency: tid 0 writes, tid 1 reads (Alg 4's
     // wait-free reader never blocks, so both sides are unconditional).
     rt::RtWaitFreeHiRegister reg(kValues);
     util::Xoshiro256 rng(10);
-    report.add(util::measure_throughput(
+    auto result = util::measure_throughput(
         "alg4/swsr_mixed", 2, 50'000, [&](int tid, std::size_t) {
           if (tid == 0) {
             reg.write(static_cast<std::uint32_t>(rng.next_in(1, kValues)));
           } else {
             benchmark::DoNotOptimize(reg.read());
           }
-        }));
+        });
+    result.bytes_per_object = reg.memory_bytes();
+    report.add(std::move(result));
   }
   report.write();
 }

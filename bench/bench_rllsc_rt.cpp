@@ -122,9 +122,15 @@ BENCHMARK(BM_Vl)->Name("vl")->Threads(1)->Threads(8)->UseRealTime();
 /// Machine-readable results (BENCH_rllsc.json) for cross-PR tracking.
 void emit_bench_json() {
   util::BenchReport report("rllsc");
+  // The whole object is one padded 16-byte atomic word.
+  const std::size_t object_bytes = rt::RtRllsc(0).memory_bytes();
+  const auto add = [&report, object_bytes](util::BenchResult result) {
+    result.bytes_per_object = object_bytes;
+    report.add(std::move(result));
+  };
   for (const int threads : {1, 2, 4}) {
     rt::RtRllsc cell(0);
-    report.add(util::measure_throughput(
+    add(util::measure_throughput(
         "ll_sc_pair", threads, 50'000, [&cell](int tid, std::size_t) {
           const std::uint64_t seen = cell.ll(tid);
           benchmark::DoNotOptimize(cell.sc(tid, seen + 1));
@@ -132,7 +138,7 @@ void emit_bench_json() {
   }
   {
     rt::RtRllsc cell(0);
-    report.add(util::measure_throughput(
+    add(util::measure_throughput(
         "ll_rl_pair", 2, 50'000, [&cell](int tid, std::size_t) {
           benchmark::DoNotOptimize(cell.ll(tid));
           benchmark::DoNotOptimize(cell.rl(tid));
@@ -140,11 +146,11 @@ void emit_bench_json() {
   }
   {
     rt::RtRllsc cell(7);
-    report.add(util::measure_throughput(
+    add(util::measure_throughput(
         "load", 1, 200'000, [&cell](int, std::size_t) {
           benchmark::DoNotOptimize(cell.load());
         }));
-    report.add(util::measure_throughput(
+    add(util::measure_throughput(
         "store", 1, 200'000, [&cell](int, std::size_t i) {
           benchmark::DoNotOptimize(cell.store(i));
         }));

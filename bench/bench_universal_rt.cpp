@@ -171,24 +171,30 @@ void emit_bench_json() {
   util::BenchReport report("universal");
   for (const int threads : {1, 2, 4}) {
     rt::RtUniversal<CounterSpec> object(counter_spec(), threads);
-    report.add(util::measure_throughput(
+    auto result = util::measure_throughput(
         "hi_universal/inc", threads, 20'000, [&object](int tid, std::size_t) {
           benchmark::DoNotOptimize(object.apply(tid, CounterSpec::inc()));
-        }));
+        });
+    result.bytes_per_object = object.memory_bytes();
+    report.add(std::move(result));
   }
   {
     rt::RtUniversal<CounterSpec> object(counter_spec(), 2);
-    report.add(util::measure_throughput(
+    auto result = util::measure_throughput(
         "hi_universal/read", 1, 100'000, [&object](int, std::size_t) {
           benchmark::DoNotOptimize(object.apply(0, CounterSpec::read()));
-        }));
+        });
+    result.bytes_per_object = object.memory_bytes();
+    report.add(std::move(result));
   }
   {
     rt::RtLeakyUniversal<CounterSpec> object(counter_spec(), 4);
-    report.add(util::measure_throughput(
+    auto result = util::measure_throughput(
         "leaky_universal/inc", 4, 20'000, [&object](int tid, std::size_t) {
           benchmark::DoNotOptimize(object.apply(tid, CounterSpec::inc()));
-        }));
+        });
+    result.bytes_per_object = object.memory_bytes();
+    report.add(std::move(result));
   }
   report.write();
 }

@@ -21,58 +21,77 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "env/env.h"
+
 namespace hi::algo {
 
-template <typename Env>
+template <typename Env, typename Bins>
 class HiSetAlg {
  public:
   template <typename T>
   using Op = typename Env::template Op<T>;
 
   /// `initial_bits`: membership bitmap, bit (v-1) set <=> v initially in the
-  /// set — hence the make_bin_array_bits environment factory rather than the
-  /// registers' one-hot initialization.
+  /// set — hence the Bins::make_bits factory rather than the registers'
+  /// one-hot initialization.
+  ///
+  /// Layouts: with env::PaddedBins every element is its own padded cell
+  /// (disjoint elements never share a cache line); with env::PackedBins the
+  /// whole set is ONE word whose value IS the membership bitmap — still one
+  /// primitive per operation, still perfect HI (the memory representation
+  /// is exactly the abstract state, per Definition 5; adjacent states
+  /// differ in one base object, consistent with Proposition 6), but
+  /// concurrent writers to different elements now contend on one word
+  /// (the padded-vs-packed tradeoff, docs/PERF.md).
   HiSetAlg(typename Env::Ctx ctx, std::uint32_t domain,
            std::uint64_t initial_bits)
       : domain_(domain),
-        s_(Env::make_bin_array_bits(ctx, "S", domain, initial_bits)) {
+        s_(Bins::make_bits(ctx, "S", domain, initial_bits)) {
     assert(domain >= 1 && domain <= 64);
   }
 
-  /// Insert(v): one blind write of S[v] ← 1.
+  /// Insert(v): one blind set of S[v] (a fetch_or when packed).
   Op<bool> insert(std::uint32_t value) {
     assert(value >= 1 && value <= domain_);
-    co_await Env::write_bit(s_, value, 1);
+    co_await Bins::set(s_, value);
     co_return true;
   }
-  /// Remove(v): one blind write of S[v] ← 0.
+  /// Remove(v): one blind clear of S[v] (a fetch_and when packed).
   Op<bool> remove(std::uint32_t value) {
     assert(value >= 1 && value <= domain_);
-    co_await Env::write_bit(s_, value, 0);
+    co_await Bins::clear(s_, value);
     co_return true;
   }
-  /// Lookup(v): one read of S[v].
+  /// Lookup(v): one read of S[v] (a word load when packed).
   Op<bool> lookup(std::uint32_t value) {
     assert(value >= 1 && value <= domain_);
-    const std::uint8_t bit = co_await Env::read_bit(s_, value);
+    const std::uint8_t bit = co_await Bins::read(s_, value);
     co_return bit == 1;
   }
 
   /// Observer-side memory image (S[1..t]); never a step of the model.
   void encode_memory(std::vector<std::uint8_t>& out) const {
     for (std::uint32_t v = 1; v <= domain_; ++v) {
-      out.push_back(Env::peek_bit(s_, v));
+      out.push_back(Bins::peek(s_, v));
     }
   }
 
   std::uint32_t domain() const { return domain_; }
+  /// Bytes of shared storage behind S (observer-side; bench provenance).
+  std::size_t memory_bytes() const { return Bins::footprint_bytes(s_); }
 
  private:
   std::uint32_t domain_;
-  typename Env::BinArray s_;
+  typename Bins::Array s_;
 };
+
+template <typename E>
+using HiSetAlgPadded = HiSetAlg<E, env::PaddedBins<E>>;
+template <typename E>
+using HiSetAlgPacked = HiSetAlg<E, env::PackedBins<E>>;
 
 }  // namespace hi::algo

@@ -24,15 +24,22 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "env/env.h"
 
 namespace hi::algo {
 
 /// §5.1's monotone-write modification of Algorithm 1. SWSR, like the §4
 /// registers: `writer_pid`/`reader_pid` pin the two roles (the paper's p_w
-/// and p_r); the asserts document the restriction.
-template <typename Env>
+/// and p_r); the asserts document the restriction. Scans go through the
+/// Bins layout policy: bit-at-a-time with env::PaddedBins (the paper's
+/// primitive sequence), one word load / masked fetch_and per 64 bins with
+/// env::PackedBins (O(K/64) hot paths, same abstract bin contents — the
+/// canonical representation can(m) = e_m is layout-independent).
+template <typename Env, typename Bins>
 class HiMaxRegisterAlg {
  public:
   template <typename T>
@@ -44,7 +51,7 @@ class HiMaxRegisterAlg {
         writer_pid_(writer_pid),
         reader_pid_(reader_pid),
         local_max_(initial),
-        a_(Env::make_bin_array(ctx, "A", num_values, initial)) {
+        a_(Bins::make(ctx, "A", num_values, initial)) {
     assert(initial >= 1 && initial <= num_values);
   }
 
@@ -55,18 +62,9 @@ class HiMaxRegisterAlg {
   Op<std::uint32_t> read_max(int pid) {
     assert(pid == reader_pid_);
     (void)pid;
-    std::uint32_t j = 1;
-    for (;;) {
-      const std::uint8_t bit = co_await Env::read_bit(a_, j);
-      if (bit == 1) break;
-      ++j;
-      assert(j <= num_values_ && "no 1 in A — impossible");
-    }
-    std::uint32_t val = j;
-    for (std::uint32_t down = j; down-- > 1;) {
-      const std::uint8_t bit = co_await Env::read_bit(a_, down);
-      if (bit == 1) val = down;
-    }
+    const std::uint32_t j = co_await Bins::scan_up(a_, 1);
+    assert(j != 0 && "no 1 in A — impossible");
+    const std::uint32_t val = co_await env::confirm_down<Bins>(a_, j);
     co_return val;
   }
 
@@ -79,30 +77,35 @@ class HiMaxRegisterAlg {
     assert(value >= 1 && value <= num_values_);
     if (value <= local_max_) co_return 0;  // absorbed: no memory footprint
     local_max_ = value;
-    co_await Env::write_bit(a_, value, 1);
-    for (std::uint32_t j = value; j-- > 1;) {
-      co_await Env::write_bit(a_, j, 0);
-    }
+    co_await Bins::set(a_, value);
+    co_await Bins::clear_down(a_, value - 1);
     co_return 0;
   }
 
   /// Observer-side memory image (A[1..K]); never a step of the model.
   void encode_memory(std::vector<std::uint8_t>& out) const {
     for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      out.push_back(Env::peek_bit(a_, v));
+      out.push_back(Bins::peek(a_, v));
     }
   }
 
   std::uint32_t num_values() const { return num_values_; }
   int writer_pid() const { return writer_pid_; }
   int reader_pid() const { return reader_pid_; }
+  /// Bytes of shared storage behind A (observer-side; bench provenance).
+  std::size_t memory_bytes() const { return Bins::footprint_bytes(a_); }
 
  private:
   std::uint32_t num_values_;
   int writer_pid_;
   int reader_pid_;
   std::uint32_t local_max_;  // writer-local; not part of mem(C)
-  typename Env::BinArray a_;
+  typename Bins::Array a_;
 };
+
+template <typename E>
+using HiMaxRegisterAlgPadded = HiMaxRegisterAlg<E, env::PaddedBins<E>>;
+template <typename E>
+using HiMaxRegisterAlgPacked = HiMaxRegisterAlg<E, env::PackedBins<E>>;
 
 }  // namespace hi::algo

@@ -1,7 +1,8 @@
 // The §4 SWSR K-valued register algorithms, written ONCE over an execution
-// environment Env (src/env/env.h) and instantiated by both the simulator
-// (src/core — exhaustive interleaving + HI checking) and real hardware
-// (src/rt — stress tests and benchmarks).
+// environment Env (src/env/env.h) and a bin-array layout policy Bins
+// (env::PaddedBins / env::PackedBins — see env.h's layout commentary), and
+// instantiated by both the simulator (src/core — exhaustive interleaving +
+// HI checking) and real hardware (src/rt — stress tests and benchmarks).
 //
 //   VidyasankarAlg  — Algorithm 1 [46]: wait-free, NOT history independent.
 //                     Write(v) sets A[v] and clears only *downwards*, so the
@@ -24,20 +25,35 @@
 //                     exactly the Table 1 separation (wait-free +
 //                     state-quiescent HI is impossible, Corollary 18).
 //
+// Every upward/downward/clearing scan goes through the Bins word-scan
+// library. With PaddedBins the primitive sequence is bit-for-bit the
+// paper's (one binary register per step — the persisted schedule traces and
+// step-count tests pin this); with PackedBins a scan costs one word load
+// per 64 bins and a clearing pass one masked fetch_and per word, cutting
+// the O(K) hot paths to O(K/64) while the abstract bin contents — and
+// therefore every canonical-representation argument — stay identical. The
+// downward confirmation scan is decomposed as iterated Bins::scan_down
+// (each call stops at its first 1): the union of the calls reads every bin
+// below the start exactly once, descending, reproducing the paper's loop;
+// the B-scan of Algorithm 4 decomposes symmetrically over Bins::scan_up.
+//
 // NOTE: throughout the single-source algorithms, every co_await lands in a
 // named local before being branched on (GCC 12 miscompiles awaits that
 // appear directly inside if/while conditions).
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "env/env.h"
+
 namespace hi::algo {
 
 /// Algorithm 1 [Vidyasankar].
-template <typename Env>
+template <typename Env, typename Bins>
 class VidyasankarAlg {
  public:
   template <typename T>
@@ -46,53 +62,50 @@ class VidyasankarAlg {
   VidyasankarAlg(typename Env::Ctx ctx, std::uint32_t num_values,
                  std::uint32_t initial)
       : num_values_(num_values),
-        a_(Env::make_bin_array(ctx, "A", num_values, initial)) {
+        a_(Bins::make(ctx, "A", num_values, initial)) {
     assert(initial >= 1 && initial <= num_values);
   }
 
-  /// Read(): scan up to the first 1, then scan down taking any smaller 1.
+  /// Read(): scan up to the first 1, then scan down taking any smaller 1
+  /// (the shared downward confirmation pass, env::confirm_down).
   Op<std::uint32_t> read() {
-    std::uint32_t j = 1;
-    for (;;) {
-      const std::uint8_t bit = co_await Env::read_bit(a_, j);
-      if (bit == 1) break;
-      ++j;
-      assert(j <= num_values_ && "A contains no 1 — impossible in Alg 1");
-    }
-    std::uint32_t val = j;
-    for (std::uint32_t down = j; down-- > 1;) {
-      const std::uint8_t bit = co_await Env::read_bit(a_, down);
-      if (bit == 1) val = down;
-    }
+    const std::uint32_t j = co_await Bins::scan_up(a_, 1);
+    assert(j != 0 && "A contains no 1 — impossible in Alg 1");
+    const std::uint32_t val = co_await env::confirm_down<Bins>(a_, j);
     co_return val;
   }
 
   /// Write(v): set A[v], then clear downwards from v-1 to 1.
   Op<std::uint32_t> write(std::uint32_t value) {
     assert(value >= 1 && value <= num_values_);
-    co_await Env::write_bit(a_, value, 1);
-    for (std::uint32_t j = value; j-- > 1;) {
-      co_await Env::write_bit(a_, j, 0);
-    }
+    co_await Bins::set(a_, value);
+    co_await Bins::clear_down(a_, value - 1);
     co_return 0;
   }
 
   /// Observer-side memory image (A[1..K]); never a step of the model.
   void encode_memory(std::vector<std::uint8_t>& out) const {
     for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      out.push_back(Env::peek_bit(a_, v));
+      out.push_back(Bins::peek(a_, v));
     }
   }
 
   std::uint32_t num_values() const { return num_values_; }
+  /// Bytes of shared storage behind A (observer-side; bench provenance).
+  std::size_t memory_bytes() const { return Bins::footprint_bytes(a_); }
 
  private:
   std::uint32_t num_values_;
-  typename Env::BinArray a_;
+  typename Bins::Array a_;
 };
 
+template <typename E>
+using VidyasankarAlgPadded = VidyasankarAlg<E, env::PaddedBins<E>>;
+template <typename E>
+using VidyasankarAlgPacked = VidyasankarAlg<E, env::PackedBins<E>>;
+
 /// Algorithms 2 + 3: lock-free state-quiescent-HI register.
-template <typename Env>
+template <typename Env, typename Bins>
 class LockFreeHiAlg {
  public:
   template <typename T>
@@ -103,13 +116,13 @@ class LockFreeHiAlg {
   LockFreeHiAlg(typename Env::Ctx ctx, std::uint32_t num_values,
                 std::uint32_t initial)
       : num_values_(num_values),
-        a_(Env::make_bin_array(ctx, "A", num_values, initial)) {
+        a_(Bins::make(ctx, "A", num_values, initial)) {
     assert(initial >= 1 && initial <= num_values);
   }
 
   /// Read(): retry TryRead until it finds a value (Algorithm 2, lines 1–4).
   /// The retry loop lives directly in the Op body (rather than in a shared
-  /// Sub helper) so a Read keeps at most one helper frame (the TryRead)
+  /// Sub helper) so a Read keeps at most one helper chain (the TryRead)
   /// alive at a time — on RtEnv the whole chain then recycles through the
   /// per-thread frame arena with zero steady-state heap traffic. Step
   /// counts are unchanged: frames are never steps.
@@ -136,48 +149,42 @@ class LockFreeHiAlg {
   /// (Algorithm 2, lines 5–7).
   Op<std::uint32_t> write(std::uint32_t value) {
     assert(value >= 1 && value <= num_values_);
-    co_await Env::write_bit(a_, value, 1);
-    for (std::uint32_t j = value; j-- > 1;) {
-      co_await Env::write_bit(a_, j, 0);
-    }
-    for (std::uint32_t j = value + 1; j <= num_values_; ++j) {
-      co_await Env::write_bit(a_, j, 0);
-    }
+    co_await Bins::set(a_, value);
+    co_await Bins::clear_down(a_, value - 1);
+    co_await Bins::clear_up(a_, value + 1);
     co_return 0;
   }
 
   void encode_memory(std::vector<std::uint8_t>& out) const {
     for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      out.push_back(Env::peek_bit(a_, v));
+      out.push_back(Bins::peek(a_, v));
     }
   }
 
   std::uint32_t num_values() const { return num_values_; }
+  std::size_t memory_bytes() const { return Bins::footprint_bytes(a_); }
 
  private:
   /// TryRead (Algorithm 3): one upward scan for a 1; on success, downward
   /// confirmation scan; ⊥ (nullopt) if the whole array read as 0.
   Sub<std::optional<std::uint32_t>> try_read() {
-    for (std::uint32_t j = 1; j <= num_values_; ++j) {
-      const std::uint8_t bit = co_await Env::read_bit(a_, j);
-      if (bit == 1) {
-        std::uint32_t val = j;
-        for (std::uint32_t down = j; down-- > 1;) {
-          const std::uint8_t low = co_await Env::read_bit(a_, down);
-          if (low == 1) val = down;
-        }
-        co_return val;
-      }
-    }
-    co_return std::nullopt;
+    const std::uint32_t j = co_await Bins::scan_up(a_, 1);
+    if (j == 0) co_return std::nullopt;
+    const std::uint32_t val = co_await env::confirm_down<Bins>(a_, j);
+    co_return val;
   }
 
   std::uint32_t num_values_;
-  typename Env::BinArray a_;
+  typename Bins::Array a_;
 };
 
+template <typename E>
+using LockFreeHiAlgPadded = LockFreeHiAlg<E, env::PaddedBins<E>>;
+template <typename E>
+using LockFreeHiAlgPacked = LockFreeHiAlg<E, env::PackedBins<E>>;
+
 /// Algorithm 4: wait-free quiescent-HI register.
-template <typename Env>
+template <typename Env, typename Bins>
 class WaitFreeHiAlg {
  public:
   template <typename T>
@@ -189,15 +196,15 @@ class WaitFreeHiAlg {
                 std::uint32_t initial)
       : num_values_(num_values),
         last_val_(initial),
-        a_(Env::make_bin_array(ctx, "A", num_values, initial)),
-        b_(Env::make_bin_array(ctx, "B", num_values, 0)),
-        flags_(Env::make_bin_array(ctx, "flag", 2, 0)) {
+        a_(Bins::make(ctx, "A", num_values, initial)),
+        b_(Bins::make(ctx, "B", num_values, 0)),
+        flags_(Bins::make(ctx, "flag", 2, 0)) {
     assert(initial >= 1 && initial <= num_values);
   }
 
   /// Read() — Algorithm 4, lines 1–10.
   Op<std::uint32_t> read() {
-    co_await Env::write_bit(flags_, 1, 1);  // line 1: announce
+    co_await Bins::set(flags_, 1);          // line 1: announce
     std::uint32_t val = 0;                  // 0 encodes ⊥
     for (int attempt = 0; attempt < 2; ++attempt) {  // line 2
       const std::optional<std::uint32_t> got = co_await try_read();
@@ -207,19 +214,22 @@ class WaitFreeHiAlg {
       }
     }
     if (val == 0) {
-      // Lines 5–6: read B; take the *last* index seen holding 1.
-      for (std::uint32_t j = 1; j <= num_values_; ++j) {
-        const std::uint8_t bit = co_await Env::read_bit(b_, j);
-        if (bit == 1) val = j;
+      // Lines 5–6: read all of B ascending; take the *last* index seen
+      // holding 1 — iterated scan_up, one full pass in union.
+      std::uint32_t cur = 1;
+      for (;;) {
+        const std::uint32_t hit = co_await Bins::scan_up(b_, cur);
+        if (hit == 0) break;
+        val = hit;
+        if (hit == num_values_) break;
+        cur = hit + 1;
       }
       assert(val != 0 && "Lemma 10: val != ⊥ at line 7");
     }
-    co_await Env::write_bit(flags_, 2, 1);  // line 7
-    for (std::uint32_t j = 1; j <= num_values_; ++j) {  // line 8: clear B
-      co_await Env::write_bit(b_, j, 0);
-    }
-    co_await Env::write_bit(flags_, 1, 0);  // line 9
-    co_await Env::write_bit(flags_, 2, 0);
+    co_await Bins::set(flags_, 2);             // line 7
+    co_await Bins::clear_up(b_, 1);            // line 8: clear B
+    co_await Bins::clear(flags_, 1);           // line 9
+    co_await Bins::clear(flags_, 2);
     co_return val;  // line 10
   }
 
@@ -228,33 +238,22 @@ class WaitFreeHiAlg {
     assert(value >= 1 && value <= num_values_);
     // Line 11: check whether B is all-zero (scan; stop at the first 1, which
     // already falsifies the condition).
-    bool b_all_zero = true;
-    for (std::uint32_t j = 1; j <= num_values_; ++j) {
-      const std::uint8_t bit = co_await Env::read_bit(b_, j);
-      if (bit == 1) {
-        b_all_zero = false;
-        break;
-      }
-    }
-    if (b_all_zero) {
-      const std::uint8_t f1_seen = co_await Env::read_bit(flags_, 1);
+    const std::uint32_t b_hit = co_await Bins::scan_up(b_, 1);
+    if (b_hit == 0) {
+      const std::uint8_t f1_seen = co_await Bins::read(flags_, 1);
       if (f1_seen == 1) {  // line 12: concurrent reader?
-        co_await Env::write_bit(b_, last_val_, 1);  // line 13: help
+        co_await Bins::set(b_, last_val_);  // line 13: help
         // Line 14: read flag[2], then flag[1] (this order matters; Lemma 35).
-        const std::uint8_t f2 = co_await Env::read_bit(flags_, 2);
-        const std::uint8_t f1 = co_await Env::read_bit(flags_, 1);
+        const std::uint8_t f2 = co_await Bins::read(flags_, 2);
+        const std::uint8_t f1 = co_await Bins::read(flags_, 1);
         if (f2 == 1 || f1 == 0) {
-          co_await Env::write_bit(b_, last_val_, 0);  // line 15
+          co_await Bins::clear(b_, last_val_);  // line 15
         }
       }
     }
-    co_await Env::write_bit(a_, value, 1);     // line 16
-    for (std::uint32_t j = value; j-- > 1;) {  // line 17
-      co_await Env::write_bit(a_, j, 0);
-    }
-    for (std::uint32_t j = value + 1; j <= num_values_; ++j) {  // line 18
-      co_await Env::write_bit(a_, j, 0);
-    }
+    co_await Bins::set(a_, value);              // line 16
+    co_await Bins::clear_down(a_, value - 1);   // line 17
+    co_await Bins::clear_up(a_, value + 1);     // line 18
     last_val_ = value;  // line 19 (writer-local; not part of mem(C))
     co_return 0;
   }
@@ -262,39 +261,40 @@ class WaitFreeHiAlg {
   /// Memory image in mem(C) layout order: A[1..K], B[1..K], flag[1..2].
   void encode_memory(std::vector<std::uint8_t>& out) const {
     for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      out.push_back(Env::peek_bit(a_, v));
+      out.push_back(Bins::peek(a_, v));
     }
     for (std::uint32_t v = 1; v <= num_values_; ++v) {
-      out.push_back(Env::peek_bit(b_, v));
+      out.push_back(Bins::peek(b_, v));
     }
-    out.push_back(Env::peek_bit(flags_, 1));
-    out.push_back(Env::peek_bit(flags_, 2));
+    out.push_back(Bins::peek(flags_, 1));
+    out.push_back(Bins::peek(flags_, 2));
   }
 
   std::uint32_t num_values() const { return num_values_; }
+  std::size_t memory_bytes() const {
+    return Bins::footprint_bytes(a_) + Bins::footprint_bytes(b_) +
+           Bins::footprint_bytes(flags_);
+  }
 
  private:
   /// TryRead — Algorithm 3, shared with Algorithm 2.
   Sub<std::optional<std::uint32_t>> try_read() {
-    for (std::uint32_t j = 1; j <= num_values_; ++j) {
-      const std::uint8_t bit = co_await Env::read_bit(a_, j);
-      if (bit == 1) {
-        std::uint32_t val = j;
-        for (std::uint32_t down = j; down-- > 1;) {
-          const std::uint8_t low = co_await Env::read_bit(a_, down);
-          if (low == 1) val = down;
-        }
-        co_return val;
-      }
-    }
-    co_return std::nullopt;
+    const std::uint32_t j = co_await Bins::scan_up(a_, 1);
+    if (j == 0) co_return std::nullopt;
+    const std::uint32_t val = co_await env::confirm_down<Bins>(a_, j);
+    co_return val;
   }
 
   std::uint32_t num_values_;
   std::uint32_t last_val_;  // the writer's persistent local variable
-  typename Env::BinArray a_;
-  typename Env::BinArray b_;
-  typename Env::BinArray flags_;
+  typename Bins::Array a_;
+  typename Bins::Array b_;
+  typename Bins::Array flags_;
 };
+
+template <typename E>
+using WaitFreeHiAlgPadded = WaitFreeHiAlg<E, env::PaddedBins<E>>;
+template <typename E>
+using WaitFreeHiAlgPacked = WaitFreeHiAlg<E, env::PackedBins<E>>;
 
 }  // namespace hi::algo

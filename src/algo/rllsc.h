@@ -131,6 +131,10 @@ class CasRllscAlg {
   std::uint64_t peek_context() const { return Env::peek_cas(cell_).ctx; }
   Word peek_word() const { return Env::peek_cas(cell_); }
 
+  /// Bytes of shared storage (one CAS cell; observer-side, the bench's
+  /// bytes_per_object input).
+  std::size_t memory_bytes() const { return sizeof(typename Env::CasCell); }
+
   bool is_lock_free() const { return Env::cas_is_lock_free(cell_); }
 
  private:

@@ -344,6 +344,12 @@ class UniversalAlg {
 
   bool is_lock_free() const { return head_.is_lock_free(); }
   int num_processes() const { return n_; }
+  /// Bytes of shared storage (head + announce cells; observer-side, the
+  /// bench's bytes_per_object input — sizeof tracks the cell layout, so a
+  /// future cell change is reflected automatically).
+  std::size_t memory_bytes() const {
+    return (1 + announce_.size()) * sizeof(Cell);
+  }
 
  private:
   /// 6R.1 / 18R.1: has my response been published in announce[pid]?

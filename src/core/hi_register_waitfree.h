@@ -18,6 +18,15 @@
 
 namespace hi::core {
 
-using WaitFreeHiRegister = SwsrRegister<algo::WaitFreeHiAlg, env::SimEnv>;
+/// Padded-per-bit layout: the paper's exact primitive sequence (one binary
+/// register per step) — what the step-count tests, adversaries and persisted
+/// schedule traces drive.
+using WaitFreeHiRegister =
+    SwsrRegister<algo::WaitFreeHiAlgPadded, env::SimEnv>;
+
+/// Packed layout: 64 bins per word-sized base object, scans one word load
+/// per 64 bins (env::PackedBins; docs/ENV.md "Packed bin arrays").
+using PackedWaitFreeHiRegister =
+    SwsrRegister<algo::WaitFreeHiAlgPacked, env::SimEnv>;
 
 }  // namespace hi::core

@@ -19,10 +19,13 @@ namespace hi::core {
 /// Spec-driven harness wrapper, shared by the simulator (Env = SimEnv) and
 /// the schedule-replay backend (Env = ReplayEnv) so the op dispatch cannot
 /// diverge between the backends the differential replay suite compares.
-template <typename Env>
-class BasicHiSet : public algo::HiSetAlg<Env> {
+/// `Bins` selects the bin-array layout (padded-per-bit default preserves
+/// the paper's per-element cells; env::PackedBins makes the whole set one
+/// word whose value is the membership bitmap).
+template <typename Env, typename Bins = env::PaddedBins<Env>>
+class BasicHiSet : public algo::HiSetAlg<Env, Bins> {
  public:
-  using Base = algo::HiSetAlg<Env>;
+  using Base = algo::HiSetAlg<Env, Bins>;
   using Op = spec::SetSpec::Op;
   using Resp = spec::SetSpec::Resp;
 
@@ -41,5 +44,6 @@ class BasicHiSet : public algo::HiSetAlg<Env> {
 };
 
 using HiSet = BasicHiSet<env::SimEnv>;
+using PackedHiSet = BasicHiSet<env::SimEnv, env::PackedBins<env::SimEnv>>;
 
 }  // namespace hi::core

@@ -19,10 +19,12 @@ namespace hi::core {
 /// Spec-driven harness wrapper, shared by the simulator (Env = SimEnv) and
 /// the schedule-replay backend (Env = ReplayEnv) so the op dispatch cannot
 /// diverge between the backends the differential replay suite compares.
-template <typename Env>
-class BasicHiMaxRegister : public algo::HiMaxRegisterAlg<Env> {
+/// `Bins` selects the bin-array layout (padded-per-bit default preserves
+/// the paper's primitive sequence; env::PackedBins packs 64 bins per word).
+template <typename Env, typename Bins = env::PaddedBins<Env>>
+class BasicHiMaxRegister : public algo::HiMaxRegisterAlg<Env, Bins> {
  public:
-  using Base = algo::HiMaxRegisterAlg<Env>;
+  using Base = algo::HiMaxRegisterAlg<Env, Bins>;
   using Op = spec::MaxRegisterSpec::Op;
   using Resp = spec::MaxRegisterSpec::Resp;
 
@@ -40,5 +42,7 @@ class BasicHiMaxRegister : public algo::HiMaxRegisterAlg<Env> {
 };
 
 using HiMaxRegister = BasicHiMaxRegister<env::SimEnv>;
+using PackedHiMaxRegister =
+    BasicHiMaxRegister<env::SimEnv, env::PackedBins<env::SimEnv>>;
 
 }  // namespace hi::core

@@ -19,6 +19,15 @@
 
 namespace hi::core {
 
-using VidyasankarRegister = SwsrRegister<algo::VidyasankarAlg, env::SimEnv>;
+/// Padded-per-bit layout: the paper's exact primitive sequence (one binary
+/// register per step) — what the step-count tests, adversaries and persisted
+/// schedule traces drive.
+using VidyasankarRegister =
+    SwsrRegister<algo::VidyasankarAlgPadded, env::SimEnv>;
+
+/// Packed layout: 64 bins per word-sized base object, scans one word load
+/// per 64 bins (env::PackedBins; docs/ENV.md "Packed bin arrays").
+using PackedVidyasankarRegister =
+    SwsrRegister<algo::VidyasankarAlgPacked, env::SimEnv>;
 
 }  // namespace hi::core

@@ -54,9 +54,12 @@
 // stress tests plus hardware benchmarks from the RtEnv instantiation.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <utility>
+
+#include "util/bits.h"
 
 namespace hi::env {
 
@@ -106,6 +109,271 @@ auto ready(T value) {
 
 }  // namespace detail
 
+// ---------------------------------------------------------------------------
+// Bin-array layouts and the word-scan library.
+//
+// The §4/§5.1 algorithms spend their hot paths scanning an array of binary
+// registers. Two memory representations of the same abstract bins are
+// supported, selected per instantiation through a `Bins` traits policy the
+// algorithm bodies are templated over:
+//
+//   PaddedBins<Env>  — one base object per bin (BinArray). Every scan step
+//                      reads or writes ONE bin: exactly the paper's
+//                      single-bit register primitives, O(K) steps per scan.
+//                      On hardware each bin is its own cache-line-padded
+//                      atomic byte (K=1024 ⇒ 64 KiB, scans walk up to K
+//                      lines) — false-sharing-free but scan-hostile.
+//   PackedBins<Env>  — 64 bins per word-sized base object (PackedBinArray).
+//                      Every scan step LOADS one whole word (a free 64-bin
+//                      snapshot — strictly stronger than the paper's
+//                      single-bit read) or RMWs up to 64 bins via
+//                      fetch_or/fetch_and, so scans cost O(K/64) steps and
+//                      on hardware touch O(K/64) unpadded, contiguous
+//                      cache lines (K=1024 ⇒ 128 bytes = 2 lines). The
+//                      price is word contention between bins sharing a
+//                      word.
+//
+// HI is preserved by packing because the packed word vector is a pure
+// function of the abstract bin contents — can(v) maps to exactly one word
+// image — so every canonical-representation argument (state-quiescent HI
+// for Algorithms 2/3, quiescent HI for Algorithm 4, perfect HI for the
+// §5.1 set) carries over verbatim; only the base-object granularity of
+// mem(C) changes. See docs/ENV.md "Packed bin arrays" and the deviation
+// note in docs/PAPER_MAP.md.
+//
+// Step costs (each co_await below = exactly ONE primitive step):
+//
+//   op                  PaddedBins                PackedBins
+//   read(a, v)          1 (bit read)              1 (word load + extract)
+//   set/clear(a, v)     1 (bit write)             1 (fetch_or/fetch_and)
+//   scan_up(a, from)    1 per bin examined        1 word load per 64 bins
+//   scan_down(a, from)  1 per bin examined        1 word load per 64 bins
+//   clear_down(a, from) `from` bit writes         1 fetch_and per word
+//   clear_up(a, from)   size-from+1 bit writes    1 fetch_and per word
+//
+// The scans are Sub coroutines (multi-step operations built from one-step
+// primitives), so the simulator explores every interleaving point between
+// word accesses and the explorer/replay suites model-check the packed
+// granularity like any other primitive sequence.
+// ---------------------------------------------------------------------------
+
+/// The padded-per-bit layout: delegates to the environment's BinArray
+/// primitives. Scan/clear loops reproduce the §4/§5.1 bodies' original
+/// bit-at-a-time primitive sequences EXACTLY (same objects, same order), so
+/// instantiations that predate packing — including persisted ScheduleTrace
+/// literals and step-count tests — are unaffected by the Bins refactor.
+template <typename Env>
+struct PaddedBins {
+  using Array = typename Env::BinArray;
+  template <typename T>
+  using Sub = typename Env::template Sub<T>;
+
+  static Array make(typename Env::Ctx ctx, const char* prefix,
+                    std::uint32_t count, std::uint32_t one_index) {
+    return Env::make_bin_array(ctx, prefix, count, one_index);
+  }
+  static Array make_bits(typename Env::Ctx ctx, const char* prefix,
+                         std::uint32_t count, std::uint64_t bits) {
+    return Env::make_bin_array_bits(ctx, prefix, count, bits);
+  }
+
+  static std::uint32_t size(const Array& a) {
+    return static_cast<std::uint32_t>(a.size());
+  }
+
+  /// read(A[v]) — 1 step.
+  static auto read(Array& a, std::uint32_t v) { return Env::read_bit(a, v); }
+  /// A[v] ← 1 — 1 step.
+  static auto set(Array& a, std::uint32_t v) { return Env::write_bit(a, v, 1); }
+  /// A[v] ← 0 — 1 step.
+  static auto clear(Array& a, std::uint32_t v) {
+    return Env::write_bit(a, v, 0);
+  }
+  /// Observer-side peek — 0 steps.
+  static std::uint8_t peek(const Array& a, std::uint32_t v) {
+    return Env::peek_bit(a, v);
+  }
+
+  /// First set bin at-or-above `from`, else 0 — 1 step per bin examined,
+  /// ascending, stopping at the first 1 (Algorithm 1/3's upward scan).
+  static Sub<std::uint32_t> scan_up(Array& a, std::uint32_t from) {
+    const std::uint32_t limit = size(a);
+    for (std::uint32_t j = from; j <= limit; ++j) {
+      const std::uint8_t bit = co_await Env::read_bit(a, j);
+      if (bit == 1) co_return j;
+    }
+    co_return 0;
+  }
+
+  /// First set bin at-or-below `from`, else 0 — 1 step per bin examined,
+  /// descending, stopping at the first 1. Iterating scan_down until it
+  /// returns 0 reads every bin below the start exactly once, descending —
+  /// the §4 downward confirmation scan, decomposed.
+  static Sub<std::uint32_t> scan_down(Array& a, std::uint32_t from) {
+    for (std::uint32_t j = from; j >= 1; --j) {
+      const std::uint8_t bit = co_await Env::read_bit(a, j);
+      if (bit == 1) co_return j;
+    }
+    co_return 0;
+  }
+
+  /// A[from], A[from-1], …, A[1] ← 0 — one bit write per bin, descending
+  /// (Algorithm 1/2 line "for j = v−1 down to 1"). from == 0 is a no-op.
+  static Sub<bool> clear_down(Array& a, std::uint32_t from) {
+    for (std::uint32_t j = from; j >= 1; --j) {
+      co_await Env::write_bit(a, j, 0);
+    }
+    co_return true;
+  }
+
+  /// A[from], A[from+1], …, A[K] ← 0 — one bit write per bin, ascending
+  /// (Algorithm 2 line "for j = v+1 to K"). from > K is a no-op.
+  static Sub<bool> clear_up(Array& a, std::uint32_t from) {
+    const std::uint32_t limit = size(a);
+    for (std::uint32_t j = from; j <= limit; ++j) {
+      co_await Env::write_bit(a, j, 0);
+    }
+    co_return true;
+  }
+
+  /// Bytes behind the shared representation (observer-side): the actual
+  /// padded-cell storage on RtEnv, the modeled snapshot-word footprint on
+  /// the scheduler-driven backends.
+  static std::size_t footprint_bytes(const Array& a) {
+    return Env::bin_storage_bytes(a);
+  }
+};
+
+/// The packed layout: 64 bins per word, scans via one word load per 64 bins
+/// plus TZCNT/LZCNT, clears via one masked fetch_and per word. Requires the
+/// environment's PackedBinArray primitives (load_packed_word /
+/// or_packed_word / and_packed_word — one step each).
+template <typename Env>
+struct PackedBins {
+  using Array = typename Env::PackedBinArray;
+  template <typename T>
+  using Sub = typename Env::template Sub<T>;
+
+  static Array make(typename Env::Ctx ctx, const char* prefix,
+                    std::uint32_t count, std::uint32_t one_index) {
+    return Env::make_packed_bin_array(ctx, prefix, count, one_index);
+  }
+  static Array make_bits(typename Env::Ctx ctx, const char* prefix,
+                         std::uint32_t count, std::uint64_t bits) {
+    return Env::make_packed_bin_array_bits(ctx, prefix, count, bits);
+  }
+
+  static std::uint32_t size(const Array& a) { return Env::packed_bins(a); }
+
+  /// read(A[v]) — 1 step: one word load, bit extracted locally.
+  static auto read(Array& a, std::uint32_t v) {
+    return detail::MapAwait{
+        Env::load_packed_word(a, util::bin_word(v)),
+        [v](std::uint64_t word) {
+          return static_cast<std::uint8_t>((word >> util::bin_bit(v)) & 1u);
+        }};
+  }
+  /// A[v] ← 1 — 1 step: one fetch_or on the containing word.
+  static auto set(Array& a, std::uint32_t v) {
+    return Env::or_packed_word(a, util::bin_word(v), util::bin_mask(v));
+  }
+  /// A[v] ← 0 — 1 step: one fetch_and on the containing word.
+  static auto clear(Array& a, std::uint32_t v) {
+    return Env::and_packed_word(a, util::bin_word(v), ~util::bin_mask(v));
+  }
+  /// Observer-side peek — 0 steps.
+  static std::uint8_t peek(const Array& a, std::uint32_t v) {
+    return static_cast<std::uint8_t>(
+        (Env::peek_packed_word(a, util::bin_word(v)) >> util::bin_bit(v)) &
+        1u);
+  }
+
+  /// First set bin at-or-above `from`, else 0 — one word load per 64 bins,
+  /// ascending; TZCNT picks the lowest hit inside the first nonzero word.
+  /// Bins beyond size(a) are never set (factory + set() maintain this), so
+  /// the tail word needs no trimming.
+  static Sub<std::uint32_t> scan_up(Array& a, std::uint32_t from) {
+    const std::uint32_t nwords = Env::packed_words(a);
+    std::uint64_t mask = util::mask_from(util::bin_bit(from));
+    for (std::uint32_t w = util::bin_word(from); w < nwords; ++w) {
+      const std::uint64_t word = co_await Env::load_packed_word(a, w);
+      const std::uint64_t hits = word & mask;
+      if (hits != 0) co_return w * 64 + util::lowest_set(hits) + 1;
+      mask = ~std::uint64_t{0};
+    }
+    co_return 0;
+  }
+
+  /// First set bin at-or-below `from`, else 0 — one word load per 64 bins,
+  /// descending; LZCNT picks the highest hit inside the first nonzero word.
+  static Sub<std::uint32_t> scan_down(Array& a, std::uint32_t from) {
+    if (from == 0) co_return 0;
+    std::uint64_t mask = util::mask_upto(util::bin_bit(from));
+    for (std::uint32_t w = util::bin_word(from) + 1; w-- > 0;) {
+      const std::uint64_t word = co_await Env::load_packed_word(a, w);
+      const std::uint64_t hits = word & mask;
+      if (hits != 0) co_return w * 64 + util::highest_set(hits) + 1;
+      mask = ~std::uint64_t{0};
+    }
+    co_return 0;
+  }
+
+  /// A[from..1] ← 0 — ONE masked fetch_and per word, descending: the word
+  /// holding `from` keeps its bins above `from`; lower words clear fully.
+  /// from == 0 is a no-op.
+  static Sub<bool> clear_down(Array& a, std::uint32_t from) {
+    if (from == 0) co_return true;
+    std::uint64_t keep = ~util::mask_upto(util::bin_bit(from));
+    for (std::uint32_t w = util::bin_word(from) + 1; w-- > 0;) {
+      co_await Env::and_packed_word(a, w, keep);
+      keep = 0;
+    }
+    co_return true;
+  }
+
+  /// A[from..K] ← 0 — ONE masked fetch_and per word, ascending: the word
+  /// holding `from` keeps its bins below `from`; higher words clear fully
+  /// (tail bits beyond K are already 0). from > K is a no-op.
+  static Sub<bool> clear_up(Array& a, std::uint32_t from) {
+    if (from > size(a)) co_return true;
+    const std::uint32_t nwords = Env::packed_words(a);
+    std::uint64_t keep = ~util::mask_from(util::bin_bit(from));
+    for (std::uint32_t w = util::bin_word(from); w < nwords; ++w) {
+      co_await Env::and_packed_word(a, w, keep);
+      keep = 0;
+    }
+    co_return true;
+  }
+
+  /// Bytes behind the shared representation (see PaddedBins counterpart).
+  static std::size_t footprint_bytes(const Array& a) {
+    return Env::packed_storage_bytes(a);
+  }
+};
+
+/// The §4/§5.1 downward confirmation pass, shared by every reader
+/// (Algorithm 1's Read, Algorithm 3's TryRead, the max register's
+/// ReadMax): having found a 1 at `from_hit`, read every bin below it
+/// descending and return the smallest 1 seen (or `from_hit` if none).
+/// Decomposed as iterated Bins::scan_down — each call stops at its first
+/// 1, so the union of the calls reads each bin exactly once, descending:
+/// bit-for-bit the paper's loop under PaddedBins, one word load per 64
+/// bins (plus one reload per additional hit sharing a word) under
+/// PackedBins.
+template <typename Bins>
+typename Bins::template Sub<std::uint32_t> confirm_down(
+    typename Bins::Array& a, std::uint32_t from_hit) {
+  std::uint32_t val = from_hit;
+  std::uint32_t cur = from_hit - 1;
+  while (cur >= 1) {
+    const std::uint32_t hit = co_await Bins::scan_down(a, cur);
+    if (hit == 0) break;
+    val = hit;
+    cur = hit - 1;
+  }
+  co_return val;
+}
+
 /// Structural requirements every execution environment satisfies. Kept
 /// intentionally shallow (the awaitable-returning statics cannot be
 /// expressed without picking a coroutine context); the real contract is
@@ -114,6 +382,7 @@ template <typename E>
 concept ExecutionEnv = requires {
   typename E::Ctx;
   typename E::BinArray;
+  typename E::PackedBinArray;
   typename E::Value;
   typename E::CasCell;
   typename E::WordArray;

@@ -38,6 +38,7 @@
 // tests/test_rt_alloc.cpp pins the exemption).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -50,6 +51,7 @@
 #include "sim/base_object.h"
 #include "sim/memory.h"
 #include "sim/task.h"
+#include "util/bits.h"
 
 namespace hi::env {
 
@@ -87,6 +89,52 @@ class ReplayBinaryRegister : public sim::BaseObject {
 
  private:
   rt::BinCell cell_;
+};
+
+/// One packed-bin-array word backed by the rt backend's atomic word and the
+/// shared rt/cells.h packed primitive bodies. Kind strings ("read",
+/// "fetch_or", "fetch_and") match sim::PackedWordCell, so traces recorded
+/// from a packed SimEnv run cross-check against a ReplayEnv re-execution;
+/// the snapshot layout (one 64-bit word) matches too, so packed objects
+/// compare word-for-word in the differential driver.
+class ReplayPackedWordCell : public sim::BaseObject {
+ public:
+  explicit ReplayPackedWordCell(std::string name, std::uint64_t initial)
+      : BaseObject(std::move(name)) {
+    cell_.store(initial, std::memory_order_seq_cst);
+  }
+
+  auto read() {
+    return sim::Primitive{id(), "read",
+                          [this] { return rt::packed_load(cell_); }};
+  }
+  auto fetch_or(std::uint64_t mask) {
+    return sim::Primitive{id(), "fetch_or", [this, mask] {
+                            rt::packed_or(cell_, mask);
+                            return true;
+                          }};
+  }
+  auto fetch_and(std::uint64_t mask) {
+    return sim::Primitive{id(), "fetch_and", [this, mask] {
+                            rt::packed_and(cell_, mask);
+                            return true;
+                          }};
+  }
+
+  void encode_state(std::vector<std::uint64_t>& out) const override {
+    out.push_back(cell_.load(std::memory_order_seq_cst));
+  }
+  std::string describe() const override {
+    return name() + "=" +
+           std::to_string(cell_.load(std::memory_order_seq_cst));
+  }
+
+  std::uint64_t peek() const {  // observer-side, not a step
+    return cell_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<std::uint64_t> cell_;
 };
 
 /// The CAS base object backed by the rt backend's 16-byte Atomic128 word.
@@ -226,6 +274,84 @@ struct ReplayEnv {
   /// Observer-side peek — 0 steps.
   static std::uint8_t peek_bit(const BinArray& array, std::uint32_t index) {
     return array[index - 1]->peek();
+  }
+  /// Modeled footprint: one snapshot word per binary register.
+  static std::size_t bin_storage_bytes(const BinArray& array) {
+    return array.size() * sizeof(std::uint64_t);
+  }
+
+  // ---- packed bin arrays: 64 bins per word, hardware atomics under
+  // simulator scheduling (same factory order/names as SimEnv) ----
+
+  struct PackedBinArray {
+    std::uint32_t bins = 0;
+    std::vector<ReplayPackedWordCell*> words;
+  };
+
+  /// Construction only — never a step of the model.
+  static PackedBinArray make_packed_bin_array(Ctx memory, const char* prefix,
+                                              std::uint32_t count,
+                                              std::uint32_t one_index) {
+    PackedBinArray array;
+    array.bins = count;
+    const std::uint32_t nwords = util::bin_words(count);
+    array.words.reserve(nwords);
+    for (std::uint32_t w = 0; w < nwords; ++w) {
+      const std::uint64_t initial =
+          (one_index != 0 && util::bin_word(one_index) == w)
+              ? util::bin_mask(one_index)
+              : 0;
+      array.words.push_back(&memory.make<ReplayPackedWordCell>(
+          std::string(prefix) + ".w[" + std::to_string(w) + "]", initial));
+    }
+    return array;
+  }
+
+  static PackedBinArray make_packed_bin_array_bits(Ctx memory,
+                                                   const char* prefix,
+                                                   std::uint32_t count,
+                                                   std::uint64_t bits) {
+    PackedBinArray array;
+    array.bins = count;
+    if (count < 64) bits &= (std::uint64_t{1} << count) - 1;
+    const std::uint32_t nwords = util::bin_words(count);
+    array.words.reserve(nwords);
+    for (std::uint32_t w = 0; w < nwords; ++w) {
+      array.words.push_back(&memory.make<ReplayPackedWordCell>(
+          std::string(prefix) + ".w[" + std::to_string(w) + "]",
+          w == 0 ? bits : 0));
+    }
+    return array;
+  }
+
+  static std::uint32_t packed_bins(const PackedBinArray& array) {
+    return array.bins;
+  }
+  static std::uint32_t packed_words(const PackedBinArray& array) {
+    return static_cast<std::uint32_t>(array.words.size());
+  }
+
+  /// Word load — one seq_cst atomic load at the granted step; 1 step.
+  static auto load_packed_word(PackedBinArray& array, std::uint32_t w) {
+    return array.words[w]->read();
+  }
+  /// One LOCK OR at the granted step; 1 step.
+  static auto or_packed_word(PackedBinArray& array, std::uint32_t w,
+                             std::uint64_t mask) {
+    return array.words[w]->fetch_or(mask);
+  }
+  /// One LOCK AND at the granted step; 1 step.
+  static auto and_packed_word(PackedBinArray& array, std::uint32_t w,
+                              std::uint64_t mask) {
+    return array.words[w]->fetch_and(mask);
+  }
+  /// Observer-side peek — 0 steps.
+  static std::uint64_t peek_packed_word(const PackedBinArray& array,
+                                        std::uint32_t w) {
+    return array.words[w]->peek();
+  }
+  static std::size_t packed_storage_bytes(const PackedBinArray& array) {
+    return array.words.size() * sizeof(std::uint64_t);
   }
 
   // ---- one CAS base object: the 16-byte hardware word ----

@@ -34,6 +34,7 @@
 #include "env/env.h"
 #include "rt/atomic128.h"
 #include "rt/cells.h"
+#include "util/bits.h"
 #include "util/padded.h"
 
 namespace hi::env {
@@ -299,6 +300,92 @@ struct RtEnv {
   /// quiescence unless the caller tolerates racing reads.
   static std::uint8_t peek_bit(const BinArray& array, std::uint32_t index) {
     return array[index - 1]->load(std::memory_order_seq_cst);
+  }
+  /// Actual bytes of shared storage: one padded cache line per bin.
+  static std::size_t bin_storage_bytes(const BinArray& array) {
+    return array.size() * sizeof(rt::BinCell);
+  }
+
+  // ---- packed bin arrays: 64 bins per UNPADDED atomic word ----
+  //
+  // Storage and primitive bodies shared with ReplayEnv (rt/cells.h). The
+  // density is the point: K=1024 bins occupy 2 cache lines instead of the
+  // padded layout's 64 KiB, so scans are O(K/64) loads; the tradeoff is
+  // word contention between bins sharing a word (docs/PERF.md).
+
+  using PackedBinArray = rt::PackedBits;
+
+  /// Allocates ceil(count/64) contiguous atomic words; slot `one_index`
+  /// (1-based; 0 = none) starts at 1. Construction only.
+  static PackedBinArray make_packed_bin_array(Ctx, const char* /*prefix*/,
+                                              std::uint32_t count,
+                                              std::uint32_t one_index) {
+    PackedBinArray array;
+    array.bins = count;
+    array.words = std::vector<std::atomic<std::uint64_t>>(
+        util::bin_words(count));
+    for (auto& word : array.words) {
+      word.store(0, std::memory_order_relaxed);
+    }
+    if (one_index != 0) {
+      array.words[util::bin_word(one_index)].store(util::bin_mask(one_index),
+                                                   std::memory_order_seq_cst);
+    }
+    return array;
+  }
+
+  /// As make_packed_bin_array, but bins 1..64 start from `bits` (bit v-1 =
+  /// bin v); bits beyond `count` are dropped. Construction only.
+  static PackedBinArray make_packed_bin_array_bits(Ctx, const char* /*prefix*/,
+                                                   std::uint32_t count,
+                                                   std::uint64_t bits) {
+    PackedBinArray array;
+    array.bins = count;
+    if (count < 64) bits &= (std::uint64_t{1} << count) - 1;
+    array.words = std::vector<std::atomic<std::uint64_t>>(
+        util::bin_words(count));
+    for (std::size_t w = 0; w < array.words.size(); ++w) {
+      array.words[w].store(w == 0 ? bits : 0, std::memory_order_seq_cst);
+    }
+    return array;
+  }
+
+  static std::uint32_t packed_bins(const PackedBinArray& array) {
+    return array.bins;
+  }
+  static std::uint32_t packed_words(const PackedBinArray& array) {
+    return static_cast<std::uint32_t>(array.words.size());
+  }
+
+  /// Word load — one seq_cst atomic load; 1 step, 64 bins atomically.
+  static auto load_packed_word(PackedBinArray& array, std::uint32_t w) {
+    return detail::Ready{
+        [word = &array.words[w]] { return rt::packed_load(*word); }};
+  }
+  /// One LOCK OR; 1 step — sets every bin in `mask`.
+  static auto or_packed_word(PackedBinArray& array, std::uint32_t w,
+                             std::uint64_t mask) {
+    return detail::Ready{[word = &array.words[w], mask] {
+      rt::packed_or(*word, mask);
+      return true;
+    }};
+  }
+  /// One LOCK AND; 1 step — keeps only the bins in `mask`.
+  static auto and_packed_word(PackedBinArray& array, std::uint32_t w,
+                              std::uint64_t mask) {
+    return detail::Ready{[word = &array.words[w], mask] {
+      rt::packed_and(*word, mask);
+      return true;
+    }};
+  }
+  /// Observer-side peek — not an algorithm step.
+  static std::uint64_t peek_packed_word(const PackedBinArray& array,
+                                        std::uint32_t w) {
+    return array.words[w].load(std::memory_order_seq_cst);
+  }
+  /// Actual bytes of shared storage (the bench's bytes_per_object input).
+  static std::size_t packed_storage_bytes(const PackedBinArray& array) {
+    return array.words.size() * sizeof(std::atomic<std::uint64_t>);
   }
 
   // ---- one CAS base object: 16-byte atomic word, cache-line padded ----

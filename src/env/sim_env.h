@@ -20,6 +20,7 @@
 #include "sim/base_object.h"
 #include "sim/memory.h"
 #include "sim/task.h"
+#include "util/bits.h"
 
 namespace hi::env {
 
@@ -81,6 +82,94 @@ struct SimEnv {
   /// encode_memory()/parity checks only.
   static std::uint8_t peek_bit(const BinArray& array, std::uint32_t index) {
     return array[index - 1]->peek();
+  }
+  /// Modeled footprint: one snapshot word per binary register.
+  static std::size_t bin_storage_bytes(const BinArray& array) {
+    return array.size() * sizeof(std::uint64_t);
+  }
+
+  // ---- packed bin arrays: 64 bins per word-sized base object ----
+  //
+  // Each word is ONE sim::PackedWordCell, so a word load or masked RMW is
+  // one primitive step and the explorer interleaves at word granularity.
+  // mem(C) encodes one 64-bit word per cell — the packed representation is
+  // a pure function of the abstract bins, which is what preserves the HI
+  // arguments (env/env.h, docs/ENV.md "Packed bin arrays").
+
+  struct PackedBinArray {
+    std::uint32_t bins = 0;
+    std::vector<sim::PackedWordCell*> words;
+  };
+
+  /// Registers ceil(count/64) packed words named "<prefix>.w[0..]"; slot
+  /// `one_index` (1-based; 0 = none) starts at 1. Construction only.
+  static PackedBinArray make_packed_bin_array(Ctx memory, const char* prefix,
+                                              std::uint32_t count,
+                                              std::uint32_t one_index) {
+    PackedBinArray array;
+    array.bins = count;
+    const std::uint32_t nwords = util::bin_words(count);
+    array.words.reserve(nwords);
+    for (std::uint32_t w = 0; w < nwords; ++w) {
+      const std::uint64_t initial =
+          (one_index != 0 && util::bin_word(one_index) == w)
+              ? util::bin_mask(one_index)
+              : 0;
+      array.words.push_back(&memory.make<sim::PackedWordCell>(
+          std::string(prefix) + ".w[" + std::to_string(w) + "]", initial));
+    }
+    return array;
+  }
+
+  /// As make_packed_bin_array, but bins 1..64 start from `bits` (bit v-1 =
+  /// bin v — the §5.1 HI set's bitmap initialization). Bits beyond `count`
+  /// are dropped so tail bins stay 0. Construction only.
+  static PackedBinArray make_packed_bin_array_bits(Ctx memory,
+                                                   const char* prefix,
+                                                   std::uint32_t count,
+                                                   std::uint64_t bits) {
+    PackedBinArray array;
+    array.bins = count;
+    if (count < 64) bits &= (std::uint64_t{1} << count) - 1;
+    const std::uint32_t nwords = util::bin_words(count);
+    array.words.reserve(nwords);
+    for (std::uint32_t w = 0; w < nwords; ++w) {
+      array.words.push_back(&memory.make<sim::PackedWordCell>(
+          std::string(prefix) + ".w[" + std::to_string(w) + "]",
+          w == 0 ? bits : 0));
+    }
+    return array;
+  }
+
+  static std::uint32_t packed_bins(const PackedBinArray& array) {
+    return array.bins;
+  }
+  static std::uint32_t packed_words(const PackedBinArray& array) {
+    return static_cast<std::uint32_t>(array.words.size());
+  }
+
+  /// Word load — 1 primitive step; returns 64 bins atomically.
+  static auto load_packed_word(PackedBinArray& array, std::uint32_t w) {
+    return array.words[w]->read();
+  }
+  /// fetch_or — 1 primitive step; sets every bin in `mask`.
+  static auto or_packed_word(PackedBinArray& array, std::uint32_t w,
+                             std::uint64_t mask) {
+    return array.words[w]->fetch_or(mask);
+  }
+  /// fetch_and — 1 primitive step; keeps only the bins in `mask`.
+  static auto and_packed_word(PackedBinArray& array, std::uint32_t w,
+                              std::uint64_t mask) {
+    return array.words[w]->fetch_and(mask);
+  }
+  /// Observer-side peek — 0 steps.
+  static std::uint64_t peek_packed_word(const PackedBinArray& array,
+                                        std::uint32_t w) {
+    return array.words[w]->peek();
+  }
+  /// Modeled footprint of the shared representation (observer-side).
+  static std::size_t packed_storage_bytes(const PackedBinArray& array) {
+    return array.words.size() * sizeof(std::uint64_t);
   }
 
   // ---- one CAS base object over CtxWord<Value> (Algorithm 6's base) ----

@@ -43,21 +43,38 @@ namespace hi::replay {
 
 /// Algorithm 1 [Vidyasankar] over hardware atomics, scheduler-driven.
 using VidyasankarRegister =
-    core::SwsrRegister<algo::VidyasankarAlg, env::ReplayEnv>;
+    core::SwsrRegister<algo::VidyasankarAlgPadded, env::ReplayEnv>;
 
 /// Algorithms 2+3 (lock-free state-quiescent HI) over hardware atomics.
 using LockFreeHiRegister =
-    core::SwsrRegister<algo::LockFreeHiAlg, env::ReplayEnv>;
+    core::SwsrRegister<algo::LockFreeHiAlgPadded, env::ReplayEnv>;
 
 /// Algorithm 4 (wait-free quiescent HI) over hardware atomics.
 using WaitFreeHiRegister =
-    core::SwsrRegister<algo::WaitFreeHiAlg, env::ReplayEnv>;
+    core::SwsrRegister<algo::WaitFreeHiAlgPadded, env::ReplayEnv>;
 
 /// §5.1 max register over hardware atomics.
 using HiMaxRegister = core::BasicHiMaxRegister<env::ReplayEnv>;
 
 /// §5.1 perfect-HI set over hardware atomics.
 using HiSet = core::BasicHiSet<env::ReplayEnv>;
+
+// Packed-layout twins (env::PackedBins): the same bodies over 64-bin atomic
+// words — scans are word loads, clears are masked fetch_ands — so recorded
+// packed sim schedules replay over the exact hardware RMWs RtEnv uses and
+// word-granularity interleavings get the same differential treatment as the
+// per-bit originals.
+
+using PackedVidyasankarRegister =
+    core::SwsrRegister<algo::VidyasankarAlgPacked, env::ReplayEnv>;
+using PackedLockFreeHiRegister =
+    core::SwsrRegister<algo::LockFreeHiAlgPacked, env::ReplayEnv>;
+using PackedWaitFreeHiRegister =
+    core::SwsrRegister<algo::WaitFreeHiAlgPacked, env::ReplayEnv>;
+using PackedHiMaxRegister =
+    core::BasicHiMaxRegister<env::ReplayEnv, env::PackedBins<env::ReplayEnv>>;
+using PackedHiSet =
+    core::BasicHiSet<env::ReplayEnv, env::PackedBins<env::ReplayEnv>>;
 
 /// Algorithm 6 (perfect-HI R-LLSC) over the 16-byte hardware word.
 using CasRllsc = algo::CasRllscAlg<env::ReplayEnv>;

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "algo/values.h"
 #include "rt/atomic128.h"
@@ -28,6 +29,18 @@ namespace hi::rt {
 
 /// One binary (Boolean) register — the small base object of §4/§5.1.
 using BinCell = util::Padded<std::atomic<std::uint8_t>>;
+
+/// Packed bin-array storage: 64 binary registers per 64-bit atomic word,
+/// deliberately UNPADDED — the whole point of the packed layout is spatial
+/// density (K=1024 bins fit in 128 bytes = 2 cache lines, vs 64 KiB for the
+/// padded-per-bit layout), so scans touch O(K/64) lines. The flip side is
+/// word contention: writers to bins sharing a word serialize on one RMW
+/// cache line, which is why the padded layout stays first-class for
+/// per-element-parallel workloads (docs/PERF.md "padded vs packed").
+struct PackedBits {
+  std::uint32_t bins = 0;  // number of 1-based bins; tail bits stay 0
+  std::vector<std::atomic<std::uint64_t>> words;
+};
 
 /// One 64-bit CAS word — the per-process announce/result table cells of the
 /// leaky universal baseline.
@@ -70,6 +83,22 @@ inline algo::CasResult<CasWord> cas128_cas(CasCell128& cell,
 }
 inline void cas128_write(CasCell128& cell, const CasWord& desired) {
   cell.word.store(Word128{desired.value, desired.ctx});
+}
+
+// Packed bin-array primitives (env::PackedBins): one atomic operation on
+// one 64-bin word each. The word load is a free 64-bin snapshot — strictly
+// stronger than the paper's single-bit register read — and the masked RMWs
+// set/clear up to 64 bins in one step.
+inline std::uint64_t packed_load(const std::atomic<std::uint64_t>& word) {
+  return word.load(std::memory_order_seq_cst);
+}
+/// One LOCK OR: sets every bin in `mask`.
+inline void packed_or(std::atomic<std::uint64_t>& word, std::uint64_t mask) {
+  word.fetch_or(mask, std::memory_order_seq_cst);
+}
+/// One LOCK AND: keeps only the bins in `mask`.
+inline void packed_and(std::atomic<std::uint64_t>& word, std::uint64_t mask) {
+  word.fetch_and(mask, std::memory_order_seq_cst);
 }
 
 inline std::uint64_t word_read(std::atomic<std::uint64_t>& cell) {

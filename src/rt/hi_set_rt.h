@@ -12,6 +12,7 @@
 // insert/remove/lookup never touch the heap.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -20,9 +21,17 @@
 
 namespace hi::rt {
 
-class RtHiSet {
+/// Default layout: env::PackedBins — the whole set is ONE atomic word whose
+/// value IS the membership bitmap (insert = fetch_or, remove = fetch_and,
+/// lookup = load; still one seq_cst atomic per op, still perfect HI). The
+/// `RtHiSetPadded` alias keeps the per-element padded layout instantiable:
+/// disjoint-element writers never share a cache line there, whereas the
+/// packed word serializes them — the padded-vs-packed tradeoff the bench's
+/// layout rows quantify (docs/PERF.md).
+template <typename Bins>
+class RtHiSetT {
  public:
-  explicit RtHiSet(std::uint32_t domain, std::uint64_t initial_bits = 0)
+  explicit RtHiSetT(std::uint32_t domain, std::uint64_t initial_bits = 0)
       : alg_(env::RtEnv::Ctx{}, domain, initial_bits) {}
 
   bool insert(std::uint32_t value) { return alg_.insert(value).get(); }
@@ -38,9 +47,14 @@ class RtHiSet {
   }
 
   std::uint32_t domain() const { return alg_.domain(); }
+  /// Bytes of shared storage (the bench's bytes_per_object input).
+  std::size_t memory_bytes() const { return alg_.memory_bytes(); }
 
  private:
-  algo::HiSetAlg<env::RtEnv> alg_;
+  algo::HiSetAlg<env::RtEnv, Bins> alg_;
 };
+
+using RtHiSet = RtHiSetT<env::PackedBins<env::RtEnv>>;
+using RtHiSetPadded = RtHiSetT<env::PaddedBins<env::RtEnv>>;
 
 }  // namespace hi::rt

@@ -14,6 +14,7 @@
 // atomics) is heap-allocation-free in steady state.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -22,10 +23,15 @@
 
 namespace hi::rt {
 
-class RtMaxRegister {
+/// Default layout: env::PackedBins — a K=1024 max register is 2 cache
+/// lines and ReadMax costs O(m/64) word loads instead of O(m) padded-cell
+/// loads. The `RtMaxRegisterPadded` alias keeps the padded-per-bit layout
+/// instantiable for the layout-comparison bench rows (docs/PERF.md).
+template <typename Bins>
+class RtMaxRegisterT {
  public:
-  explicit RtMaxRegister(std::uint32_t num_values, std::uint32_t initial = 1,
-                         int writer_pid = 0, int reader_pid = 1)
+  explicit RtMaxRegisterT(std::uint32_t num_values, std::uint32_t initial = 1,
+                          int writer_pid = 0, int reader_pid = 1)
       : alg_(env::RtEnv::Ctx{}, num_values, initial, writer_pid, reader_pid) {}
 
   /// ReadMax — reader thread only.
@@ -45,9 +51,14 @@ class RtMaxRegister {
   }
 
   std::uint32_t num_values() const { return alg_.num_values(); }
+  /// Bytes of shared storage (the bench's bytes_per_object input).
+  std::size_t memory_bytes() const { return alg_.memory_bytes(); }
 
  private:
-  algo::HiMaxRegisterAlg<env::RtEnv> alg_;
+  algo::HiMaxRegisterAlg<env::RtEnv, Bins> alg_;
 };
+
+using RtMaxRegister = RtMaxRegisterT<env::PackedBins<env::RtEnv>>;
+using RtMaxRegisterPadded = RtMaxRegisterT<env::PaddedBins<env::RtEnv>>;
 
 }  // namespace hi::rt

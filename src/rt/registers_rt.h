@@ -3,22 +3,27 @@
 // quiescent-HI Algorithm 4.
 //
 // Single-source: the algorithm bodies live in algo/registers.h, templated
-// over the execution environment; these classes instantiate them with RtEnv
-// (arrays of cache-line-padded std::atomic<uint8_t> binary registers,
-// seq_cst — the proofs assume atomic registers with a total order on
-// operations) and expose the synchronous call-style interface the stress
-// tests and benchmarks drive. The simulator instantiations of the SAME
-// bodies are in src/core; memory_image() here matches the simulator's
-// mem(C) snapshot word-for-word after identical operation sequences (see
-// tests/test_env_parity.cpp).
+// over the execution environment AND the bin-array layout; these classes
+// instantiate them with RtEnv and expose the synchronous call-style
+// interface the stress tests and benchmarks drive. The DEFAULT layout is
+// env::PackedBins — 64 bins per unpadded atomic word, scans one seq_cst
+// word load per 64 bins, clearing passes one masked fetch_and per word —
+// so a K=1024 register occupies 2 cache lines instead of 64 KiB and its
+// hot-path scans cost O(K/64) loads. The `*Padded` aliases keep the
+// padded-per-bit layout instantiable for the layout-comparison bench rows
+// (docs/PERF.md "padded vs packed"). The simulator instantiations of the
+// SAME bodies are in src/core; memory_image() here reports abstract bins,
+// which match the simulator's mem(C)-derived bin image after identical
+// operation sequences regardless of layout (tests/test_env_parity.cpp).
 //
 // Each call consumes its EagerTask on the calling thread, so every
-// coroutine frame recycles through that thread's FrameArena: steady-state
-// reads and writes perform zero heap allocations (tests/test_rt_alloc.cpp,
-// BENCH_registers.json allocs_per_op).
+// coroutine frame — including the scan Sub frames — recycles through that
+// thread's FrameArena: steady-state reads and writes perform zero heap
+// allocations (tests/test_rt_alloc.cpp, BENCH_registers.json allocs_per_op).
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -29,10 +34,11 @@
 namespace hi::rt {
 
 /// Algorithm 1 [Vidyasankar]: wait-free, NOT history independent.
-class RtVidyasankarRegister {
+template <typename Bins>
+class RtVidyasankarRegisterT {
  public:
-  explicit RtVidyasankarRegister(std::uint32_t num_values,
-                                 std::uint32_t initial = 1)
+  explicit RtVidyasankarRegisterT(std::uint32_t num_values,
+                                  std::uint32_t initial = 1)
       : alg_(env::RtEnv::Ctx{}, num_values, initial) {}
 
   std::uint32_t read() { return alg_.read().get(); }
@@ -44,21 +50,31 @@ class RtVidyasankarRegister {
     alg_.encode_memory(image);
     return image;
   }
+  /// Bytes of shared storage (the bench's bytes_per_object input).
+  std::size_t memory_bytes() const { return alg_.memory_bytes(); }
 
  private:
-  algo::VidyasankarAlg<env::RtEnv> alg_;
+  algo::VidyasankarAlg<env::RtEnv, Bins> alg_;
 };
 
+using RtVidyasankarRegister =
+    RtVidyasankarRegisterT<env::PackedBins<env::RtEnv>>;
+using RtVidyasankarRegisterPadded =
+    RtVidyasankarRegisterT<env::PaddedBins<env::RtEnv>>;
+
 /// Algorithm 2/3: lock-free, state-quiescent HI.
-class RtLockFreeHiRegister {
+template <typename Bins>
+class RtLockFreeHiRegisterT {
  public:
-  explicit RtLockFreeHiRegister(std::uint32_t num_values,
-                                std::uint32_t initial = 1)
+  explicit RtLockFreeHiRegisterT(std::uint32_t num_values,
+                                 std::uint32_t initial = 1)
       : alg_(env::RtEnv::Ctx{}, num_values, initial) {}
 
   /// Read: retry TryRead until it finds a value. Lock-free only; under a
   /// write-saturated schedule this can spin (the Theorem 17 behaviour) —
   /// `max_attempts` lets benchmarks bound the wait and report failures.
+  /// (With the packed layout and K ≤ 64 a TryRead always succeeds: the
+  /// single word load is a full-array snapshot, which always contains a 1.)
   std::optional<std::uint32_t> read(std::uint64_t max_attempts = 0) {
     return alg_.read_bounded(max_attempts).get();
   }
@@ -71,17 +87,24 @@ class RtLockFreeHiRegister {
     alg_.encode_memory(image);
     return image;
   }
+  std::size_t memory_bytes() const { return alg_.memory_bytes(); }
 
  private:
-  algo::LockFreeHiAlg<env::RtEnv> alg_;
+  algo::LockFreeHiAlg<env::RtEnv, Bins> alg_;
 };
+
+using RtLockFreeHiRegister =
+    RtLockFreeHiRegisterT<env::PackedBins<env::RtEnv>>;
+using RtLockFreeHiRegisterPadded =
+    RtLockFreeHiRegisterT<env::PaddedBins<env::RtEnv>>;
 
 /// Algorithm 4: wait-free, quiescent HI (reader announces, writer helps
 /// through array B, both erase their footprints).
-class RtWaitFreeHiRegister {
+template <typename Bins>
+class RtWaitFreeHiRegisterT {
  public:
-  explicit RtWaitFreeHiRegister(std::uint32_t num_values,
-                                std::uint32_t initial = 1)
+  explicit RtWaitFreeHiRegisterT(std::uint32_t num_values,
+                                 std::uint32_t initial = 1)
       : alg_(env::RtEnv::Ctx{}, num_values, initial) {}
 
   std::uint32_t read() { return alg_.read().get(); }
@@ -94,9 +117,15 @@ class RtWaitFreeHiRegister {
     alg_.encode_memory(image);
     return image;
   }
+  std::size_t memory_bytes() const { return alg_.memory_bytes(); }
 
  private:
-  algo::WaitFreeHiAlg<env::RtEnv> alg_;
+  algo::WaitFreeHiAlg<env::RtEnv, Bins> alg_;
 };
+
+using RtWaitFreeHiRegister =
+    RtWaitFreeHiRegisterT<env::PackedBins<env::RtEnv>>;
+using RtWaitFreeHiRegisterPadded =
+    RtWaitFreeHiRegisterT<env::PaddedBins<env::RtEnv>>;
 
 }  // namespace hi::rt

@@ -68,6 +68,9 @@ class RtRllsc {
 
   bool is_lock_free() const { return alg_.is_lock_free(); }
 
+  /// Bytes of shared storage (the bench's bytes_per_object input).
+  std::size_t memory_bytes() const { return alg_.memory_bytes(); }
+
  private:
   algo::CasRllscAlg<env::RtEnv> alg_;
 };

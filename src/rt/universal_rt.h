@@ -62,6 +62,8 @@ class RtUniversal {
   }
 
   int num_processes() const { return alg_.num_processes(); }
+  /// Bytes of shared storage (the bench's bytes_per_object input).
+  std::size_t memory_bytes() const { return alg_.memory_bytes(); }
   bool is_lock_free() const { return alg_.is_lock_free(); }
 
  private:

@@ -104,6 +104,50 @@ class BinaryRegister : public BaseObject {
   std::uint8_t value_;
 };
 
+/// One 64-bit word of a packed bin array (env::PackedBins): 64 of the
+/// paper's binary registers share a single word-sized base object, and the
+/// three primitives — a full-word read (a free 64-bin snapshot: strictly
+/// stronger than the paper's single-bit register read) and the set/clear
+/// RMWs — each cost exactly ONE step. The packed layout keeps the memory
+/// representation a pure function of the abstract bin contents, so the HI
+/// arguments carry over; see docs/ENV.md "Packed bin arrays".
+class PackedWordCell : public BaseObject {
+ public:
+  explicit PackedWordCell(std::string name, std::uint64_t initial = 0)
+      : BaseObject(std::move(name)), value_(initial) {}
+
+  /// Word load — 1 step; returns all 64 bins of this word atomically.
+  auto read() {
+    return Primitive{id(), "read", [this] { return value_; }};
+  }
+  /// Set every bin in `mask` — 1 step (the hardware fetch_or).
+  auto fetch_or(std::uint64_t mask) {
+    return Primitive{id(), "fetch_or", [this, mask] {
+                       value_ |= mask;
+                       return true;
+                     }};
+  }
+  /// Keep only the bins in `mask` — 1 step (the hardware fetch_and).
+  auto fetch_and(std::uint64_t mask) {
+    return Primitive{id(), "fetch_and", [this, mask] {
+                       value_ &= mask;
+                       return true;
+                     }};
+  }
+
+  void encode_state(std::vector<std::uint64_t>& out) const override {
+    out.push_back(value_);
+  }
+  std::string describe() const override {
+    return name() + "=" + std::to_string(value_);
+  }
+
+  std::uint64_t peek() const { return value_; }  // observer-side, not a step
+
+ private:
+  std::uint64_t value_;
+};
+
 /// Word-sized read/write register with at most `num_states` states; used as a
 /// "smaller base object" with a tunable state count by the impossibility
 /// experiments (base objects with fewer than t states, Theorem 17).

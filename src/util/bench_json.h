@@ -12,10 +12,15 @@
 //     "results": [
 //       {"name": "alg2/solo_write", "threads": 1,
 //        "ops_per_sec": 12345678.9, "p50_ns": 81, "p99_ns": 204,
-//        "allocs_per_op": 0},
+//        "allocs_per_op": 0, "bytes_per_object": 128},
 //       ...
 //     ]
 //   }
+//
+// bytes_per_object is the benched object's shared-memory footprint (e.g.
+// 65536 for a K=1024 padded-per-bit register vs 128 packed — the layout
+// win the packed bin arrays buy), tracked in the JSON trajectory so memory
+// wins/regressions are as visible as throughput ones.
 //
 // The full schema, the measurement methodology (warmup, percentile
 // definitions, allocs_per_op semantics) and how CI consumes these artifacts
@@ -113,6 +118,12 @@ struct BenchResult {
   /// bench (the frame arena absorbs all coroutine frames); -1.0 means the
   /// result predates the probe (legacy artifacts only).
   double allocs_per_op = -1.0;
+  /// Shared-memory footprint of the benched object in bytes (the rt
+  /// wrappers' memory_bytes(); set by the emitter after measuring). Tracks
+  /// the representation cost next to the throughput — the padded-vs-packed
+  /// bin-array tradeoff is a memory×contention tradeoff, not a pure speed
+  /// knob (docs/PERF.md).
+  std::uint64_t bytes_per_object = 0;
 };
 
 /// Run `op(tid, i)` ops_per_thread times on each of `threads` threads,
@@ -225,10 +236,12 @@ class BenchReport {
       std::fprintf(out,
                    "    {\"name\": \"%s\", \"threads\": %d, "
                    "\"ops_per_sec\": %.1f, \"p50_ns\": %llu, "
-                   "\"p99_ns\": %llu, \"allocs_per_op\": %.6g}%s\n",
+                   "\"p99_ns\": %llu, \"allocs_per_op\": %.6g, "
+                   "\"bytes_per_object\": %llu}%s\n",
                    r.name.c_str(), r.threads, r.ops_per_sec,
                    static_cast<unsigned long long>(r.p50_ns),
                    static_cast<unsigned long long>(r.p99_ns), r.allocs_per_op,
+                   static_cast<unsigned long long>(r.bytes_per_object),
                    i + 1 < results_.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");

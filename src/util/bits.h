@@ -2,6 +2,7 @@
 // real-hardware 128-bit word layout (src/rt/atomic128.h).
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 
@@ -51,6 +52,61 @@ constexpr unsigned popcount64(std::uint64_t word) noexcept {
     ++count;
   }
   return count;
+}
+
+// ---- packed-bin-array geometry (env::PackedBins, src/env/env.h) ----
+//
+// A packed bin array stores 64 of the paper's 1-based binary registers
+// A[1..K] per 64-bit word: bin v lives at bit (v-1) % 64 of word
+// (v-1) / 64. These helpers are the single place that encodes that layout;
+// the three execution environments and the word-scan library all go through
+// them, so the 1-based-bin ↔ word/bit arithmetic cannot diverge.
+
+/// Word index holding 1-based bin `v`.
+constexpr std::uint32_t bin_word(std::uint32_t v) noexcept {
+  assert(v >= 1);
+  return (v - 1) >> 6;
+}
+
+/// Bit position of 1-based bin `v` inside its word.
+constexpr unsigned bin_bit(std::uint32_t v) noexcept {
+  assert(v >= 1);
+  return (v - 1) & 63u;
+}
+
+/// Single-bit mask of 1-based bin `v` inside its word.
+constexpr std::uint64_t bin_mask(std::uint32_t v) noexcept {
+  return std::uint64_t{1} << bin_bit(v);
+}
+
+/// Number of 64-bit words needed for `count` bins.
+constexpr std::uint32_t bin_words(std::uint32_t count) noexcept {
+  return (count + 63u) >> 6;
+}
+
+/// Mask of bit positions [0, pos] (inclusive).
+constexpr std::uint64_t mask_upto(unsigned pos) noexcept {
+  assert(pos < 64);
+  return pos == 63 ? ~std::uint64_t{0}
+                   : ((std::uint64_t{1} << (pos + 1)) - 1);
+}
+
+/// Mask of bit positions [pos, 63] (inclusive).
+constexpr std::uint64_t mask_from(unsigned pos) noexcept {
+  assert(pos < 64);
+  return ~std::uint64_t{0} << pos;
+}
+
+/// Index (0-based) of the lowest set bit (one TZCNT); word must be nonzero.
+constexpr unsigned lowest_set(std::uint64_t word) noexcept {
+  assert(word != 0);
+  return static_cast<unsigned>(std::countr_zero(word));
+}
+
+/// Index (0-based) of the highest set bit (one LZCNT); word must be nonzero.
+constexpr unsigned highest_set(std::uint64_t word) noexcept {
+  assert(word != 0);
+  return 63u - static_cast<unsigned>(std::countl_zero(word));
 }
 
 }  // namespace hi::util

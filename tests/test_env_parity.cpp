@@ -119,6 +119,139 @@ TEST(EnvParity, VidyasankarLeakReproducesIdentically) {
   EXPECT_EQ(rt_reg.memory_image(), (std::vector<std::uint8_t>{1, 1, 0}));
 }
 
+// ---- Packed-layout parity: the packed sim instantiation vs the packed rt
+// instantiation (the rt default), K=70 so scans and clearing passes cross
+// the two-word boundary. Packed sim cells snapshot as 64-bin words rather
+// than one byte per bin, so the comparison goes through the
+// algorithm-level bin image (encode_memory) on both sides — which is also
+// what pins that the packed layout agrees with the padded layout on the
+// abstract bins (rt memory_image() is bins in both layouts). ----
+
+template <typename SimAlg, typename RtImpl>
+void packed_register_parity(std::uint32_t num_values, std::uint32_t initial,
+                            std::uint64_t seed) {
+  sim::Memory memory;
+  sim::Scheduler sched(2);
+  SimAlg sim_alg(memory, num_values, initial);
+  RtImpl rt_reg(num_values, initial);
+
+  const auto sim_bins = [&sim_alg] {
+    std::vector<std::uint8_t> image;
+    sim_alg.encode_memory(image);
+    return image;
+  };
+  EXPECT_EQ(sim_bins(), rt_reg.memory_image()) << "initial memory diverges";
+
+  util::Xoshiro256 rng(seed);
+  for (int step = 0; step < 200; ++step) {
+    if (rng.chance(1, 3)) {
+      const auto sim_got =
+          sim::run_solo(sched, testing::kReaderPid, sim_alg.read());
+      if constexpr (requires { rt_reg.read(std::uint64_t{1}); }) {
+        const auto rt_got = rt_reg.read(/*max_attempts=*/1);
+        ASSERT_TRUE(rt_got.has_value()) << "solo TryRead cannot fail";
+        EXPECT_EQ(sim_got, *rt_got) << "read response diverges at " << step;
+      } else {
+        const auto rt_got = rt_reg.read();
+        EXPECT_EQ(sim_got, rt_got) << "read response diverges at " << step;
+      }
+    } else {
+      const auto value =
+          static_cast<std::uint32_t>(rng.next_in(1, num_values));
+      (void)sim::run_solo(sched, testing::kWriterPid, sim_alg.write(value));
+      rt_reg.write(value);
+    }
+    ASSERT_EQ(sim_bins(), rt_reg.memory_image())
+        << "memory diverges after op " << step;
+  }
+}
+
+TEST(EnvParity, PackedVidyasankar) {
+  packed_register_parity<algo::VidyasankarAlgPacked<env::SimEnv>,
+                         rt::RtVidyasankarRegister>(70, 1, 13);
+}
+
+TEST(EnvParity, PackedLockFreeHiRegister) {
+  packed_register_parity<algo::LockFreeHiAlgPacked<env::SimEnv>,
+                         rt::RtLockFreeHiRegister>(70, 65, 23);
+}
+
+TEST(EnvParity, PackedWaitFreeHiRegister) {
+  packed_register_parity<algo::WaitFreeHiAlgPacked<env::SimEnv>,
+                         rt::RtWaitFreeHiRegister>(70, 1, 33);
+}
+
+TEST(EnvParity, PackedMaxRegister) {
+  const std::uint32_t k = 70;
+  sim::Memory memory;
+  sim::Scheduler sched(2);
+  algo::HiMaxRegisterAlgPacked<env::SimEnv> sim_reg(
+      memory, k, 1, testing::kWriterPid, testing::kReaderPid);
+  rt::RtMaxRegister rt_reg(k, 1, testing::kWriterPid, testing::kReaderPid);
+
+  const auto sim_bins = [&sim_reg] {
+    std::vector<std::uint8_t> image;
+    sim_reg.encode_memory(image);
+    return image;
+  };
+  util::Xoshiro256 rng(63);
+  for (int step = 0; step < 200; ++step) {
+    if (rng.chance(1, 3)) {
+      const auto sim_got =
+          sim::run_solo(sched, testing::kReaderPid,
+                        sim_reg.read_max(testing::kReaderPid));
+      EXPECT_EQ(sim_got, rt_reg.read_max()) << "read diverges at " << step;
+    } else {
+      const auto value = static_cast<std::uint32_t>(rng.next_in(1, k));
+      (void)sim::run_solo(sched, testing::kWriterPid,
+                          sim_reg.write_max(testing::kWriterPid, value));
+      rt_reg.write_max(value);
+    }
+    ASSERT_EQ(sim_bins(), rt_reg.memory_image())
+        << "memory diverges after op " << step;
+  }
+}
+
+TEST(EnvParity, PackedHiSet) {
+  const std::uint32_t domain = 64;
+  sim::Memory memory;
+  sim::Scheduler sched(2);
+  algo::HiSetAlgPacked<env::SimEnv> sim_set(memory, domain,
+                                            0x5555555555555555ull);
+  rt::RtHiSet rt_set(domain, 0x5555555555555555ull);
+
+  const auto sim_bins = [&sim_set] {
+    std::vector<std::uint8_t> image;
+    sim_set.encode_memory(image);
+    return image;
+  };
+  EXPECT_EQ(sim_bins(), rt_set.memory_image());
+
+  util::Xoshiro256 rng(73);
+  for (int step = 0; step < 300; ++step) {
+    const auto v = static_cast<std::uint32_t>(rng.next_in(1, domain));
+    bool sim_got = false;
+    bool rt_got = false;
+    switch (rng.next_below(3)) {
+      case 0:
+        sim_got = sim::run_solo(sched, 0, sim_set.insert(v));
+        rt_got = rt_set.insert(v);
+        break;
+      case 1:
+        sim_got = sim::run_solo(sched, 0, sim_set.remove(v));
+        rt_got = rt_set.remove(v);
+        break;
+      default:
+        sim_got = sim::run_solo(sched, 0, sim_set.lookup(v));
+        rt_got = rt_set.lookup(v);
+        break;
+    }
+    EXPECT_EQ(sim_got, rt_got) << "response diverges at " << step;
+    ASSERT_EQ(sim_bins(), rt_set.memory_image())
+        << "memory diverges after op " << step;
+  }
+}
+
 // ---- R-LLSC (Algorithm 6): value ↦ lo (hi unused), ctx ↦ ctx ----
 
 // Cell operations are SubTasks (they must run inside a scheduled process);

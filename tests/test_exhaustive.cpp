@@ -110,6 +110,28 @@ TEST(Exhaustive, Alg2_TwoWritesOneRead_AllSchedules) {
       /*max_depth=*/40, /*state_quiescent=*/true, /*min_complete=*/500);
 }
 
+TEST(Exhaustive, Alg2Packed_WriteVsRead_AllSchedules) {
+  // The packed-layout twin of Alg2_WriteVsRead_AllSchedules: Write(2) ‖
+  // Read over K=3 packed into ONE word cell, so the explorer enumerates
+  // every WORD-granularity interleaving (fetch_or/fetch_and vs word loads)
+  // and checks linearizability + canonical state-quiescent memory on each.
+  // Fewer schedules than the padded run (a write is 3 word RMWs instead of
+  // 3 bit writes ... but a read is 1–2 word loads instead of up to 2K-1 bit
+  // reads), all of them exhausted.
+  exhaustive_register_check<core::PackedLockFreeHiRegister>(
+      3, {spec::RegisterSpec::write(2)}, 1, /*max_depth=*/40,
+      /*state_quiescent=*/true, /*min_complete=*/10);
+}
+
+TEST(Exhaustive, Alg2Packed_TwoWordArray_AllSchedules) {
+  // K=70 spans two packed words: the upward scan's word-0/word-1 boundary
+  // and the clearing passes' two-word masks are the interesting
+  // interleaving points; Write(65) ‖ Read crosses them all.
+  exhaustive_register_check<core::PackedLockFreeHiRegister>(
+      70, {spec::RegisterSpec::write(65)}, 1, /*max_depth=*/40,
+      /*state_quiescent=*/true, /*min_complete=*/10);
+}
+
 TEST(Exhaustive, Alg4_WriteVsRead_AllSchedules) {
   // Algorithm 4 with one Write(3) ‖ one Read over K=3: every interleaving
   // linearizable; every fully-quiescent configuration canonical.

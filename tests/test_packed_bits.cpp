@@ -1,0 +1,359 @@
+// Packed bin arrays (env::PackedBins over SimEnv/RtEnv): geometry edge
+// cases — K not a multiple of 64, the 1-based §5.1 indexing at the word
+// boundary (bins 64/65), the bitmap-initialization round-trip, scans over
+// all-zero arrays — plus the re-derived sim step-count expectations for the
+// packed §4/§5.1 hot paths (the packed analogue of the padded layout's
+// step-exact tests: one word load per 64 bins, one masked fetch_and per
+// word, so a K=70 scan is 2 steps where the padded layout pays 70).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hi_register_lockfree.h"
+#include "core/hi_set.h"
+#include "core/max_register.h"
+#include "env/rt_env.h"
+#include "env/sim_env.h"
+#include "register_common.h"
+#include "sim/harness.h"
+#include "sim/memory.h"
+#include "sim/scheduler.h"
+#include "spec/max_register_spec.h"
+#include "spec/set_spec.h"
+#include "util/bits.h"
+
+namespace hi {
+namespace {
+
+using testing::kReaderPid;
+using testing::kWriterPid;
+
+using SimBins = env::PackedBins<env::SimEnv>;
+using RtBins = env::PackedBins<env::RtEnv>;
+using SimArray = env::SimEnv::PackedBinArray;
+using RtArray = env::RtEnv::PackedBinArray;
+
+// ---- geometry helpers under test ----
+
+TEST(PackedGeometry, WordAndBitOfOneBasedBins) {
+  // Bin 1 is bit 0 of word 0; bin 64 is bit 63 of word 0; bin 65 is bit 0
+  // of word 1 — the §5.1 1-based indexing against 0-based machine words.
+  EXPECT_EQ(util::bin_word(1), 0u);
+  EXPECT_EQ(util::bin_bit(1), 0u);
+  EXPECT_EQ(util::bin_word(64), 0u);
+  EXPECT_EQ(util::bin_bit(64), 63u);
+  EXPECT_EQ(util::bin_word(65), 1u);
+  EXPECT_EQ(util::bin_bit(65), 0u);
+  EXPECT_EQ(util::bin_words(64), 1u);
+  EXPECT_EQ(util::bin_words(65), 2u);
+  EXPECT_EQ(util::bin_words(70), 2u);
+  EXPECT_EQ(util::bin_words(1024), 16u);
+  EXPECT_EQ(util::mask_upto(63), ~std::uint64_t{0});
+  EXPECT_EQ(util::mask_from(0), ~std::uint64_t{0});
+  EXPECT_EQ(util::lowest_set(0b1010), 1u);
+  EXPECT_EQ(util::highest_set(0b1010), 3u);
+}
+
+// ---- sim-side primitive wrappers (primitives must run inside a scheduled
+// process; each wrapper lifts one Bins operation into a schedulable Op) ----
+
+sim::OpTask<std::uint32_t> op_scan_up(SimArray& a, std::uint32_t from) {
+  const std::uint32_t hit = co_await SimBins::scan_up(a, from);
+  co_return hit;
+}
+sim::OpTask<std::uint32_t> op_scan_down(SimArray& a, std::uint32_t from) {
+  const std::uint32_t hit = co_await SimBins::scan_down(a, from);
+  co_return hit;
+}
+sim::OpTask<std::uint32_t> op_read(SimArray& a, std::uint32_t v) {
+  const std::uint8_t bit = co_await SimBins::read(a, v);
+  co_return bit;
+}
+sim::OpTask<std::uint32_t> op_set(SimArray& a, std::uint32_t v) {
+  co_await SimBins::set(a, v);
+  co_return 0;
+}
+sim::OpTask<std::uint32_t> op_clear(SimArray& a, std::uint32_t v) {
+  co_await SimBins::clear(a, v);
+  co_return 0;
+}
+sim::OpTask<std::uint32_t> op_clear_down(SimArray& a, std::uint32_t from) {
+  co_await SimBins::clear_down(a, from);
+  co_return 0;
+}
+sim::OpTask<std::uint32_t> op_clear_up(SimArray& a, std::uint32_t from) {
+  co_await SimBins::clear_up(a, from);
+  co_return 0;
+}
+
+struct SimPackedFixture {
+  sim::Memory memory;
+  sim::Scheduler sched{1};
+
+  std::uint32_t run(sim::OpTask<std::uint32_t> task) {
+    return sim::run_solo(sched, 0, std::move(task));
+  }
+};
+
+TEST(PackedSim, NonMultipleOf64SizesAndWordBoundaryBins) {
+  SimPackedFixture sys;
+  // K=70 (not a multiple of 64): 2 words, tail bits stay zero.
+  SimArray a = env::SimEnv::make_packed_bin_array(sys.memory, "A", 70, 65);
+  ASSERT_EQ(env::SimEnv::packed_words(a), 2u);
+  ASSERT_EQ(env::SimEnv::packed_bins(a), 70u);
+  // one_index=65 lands on word 1, bit 0 (the boundary crossing).
+  EXPECT_EQ(env::SimEnv::peek_packed_word(a, 0), 0u);
+  EXPECT_EQ(env::SimEnv::peek_packed_word(a, 1), 1u);
+  EXPECT_EQ(SimBins::peek(a, 65), 1u);
+  EXPECT_EQ(SimBins::peek(a, 64), 0u);
+
+  // Writes at both sides of the boundary touch the right words.
+  EXPECT_EQ(sys.run(op_set(a, 64)), 0u);
+  EXPECT_EQ(env::SimEnv::peek_packed_word(a, 0), std::uint64_t{1} << 63);
+  EXPECT_EQ(sys.run(op_read(a, 64)), 1u);
+  EXPECT_EQ(sys.run(op_read(a, 65)), 1u);
+  EXPECT_EQ(sys.run(op_clear(a, 65)), 0u);
+  EXPECT_EQ(env::SimEnv::peek_packed_word(a, 1), 0u);
+  EXPECT_EQ(SimBins::peek(a, 64), 1u) << "clear(65) must not touch word 0";
+
+  // scan_up crosses the word boundary; scan_down crosses it backwards.
+  EXPECT_EQ(sys.run(op_set(a, 70)), 0u);
+  EXPECT_EQ(sys.run(op_scan_up(a, 1)), 64u);
+  EXPECT_EQ(sys.run(op_scan_up(a, 65)), 70u);
+  EXPECT_EQ(sys.run(op_scan_down(a, 70)), 70u);
+  EXPECT_EQ(sys.run(op_scan_down(a, 69)), 64u);
+  EXPECT_EQ(sys.run(op_scan_down(a, 63)), 0u);
+}
+
+TEST(PackedSim, BitsInitializationRoundTrip) {
+  SimPackedFixture sys;
+  const std::uint64_t bits = 0xdeadbeefcafef00dull;
+  SimArray a = env::SimEnv::make_packed_bin_array_bits(sys.memory, "S", 64,
+                                                       bits);
+  ASSERT_EQ(env::SimEnv::packed_words(a), 1u);
+  EXPECT_EQ(env::SimEnv::peek_packed_word(a, 0), bits);
+  for (std::uint32_t v = 1; v <= 64; ++v) {
+    EXPECT_EQ(SimBins::peek(a, v), (bits >> (v - 1)) & 1) << "bin " << v;
+  }
+  // Bits beyond a short domain are dropped so tail bins stay 0.
+  SimArray b = env::SimEnv::make_packed_bin_array_bits(sys.memory, "T", 10,
+                                                       ~std::uint64_t{0});
+  EXPECT_EQ(env::SimEnv::peek_packed_word(b, 0), (std::uint64_t{1} << 10) - 1);
+}
+
+TEST(PackedSim, ScansOnAllZeroArrayReturnZero) {
+  SimPackedFixture sys;
+  SimArray a = env::SimEnv::make_packed_bin_array(sys.memory, "A", 130, 0);
+  ASSERT_EQ(env::SimEnv::packed_words(a), 3u);
+  EXPECT_EQ(sys.run(op_scan_up(a, 1)), 0u);
+  EXPECT_EQ(sys.run(op_scan_up(a, 128)), 0u);
+  EXPECT_EQ(sys.run(op_scan_down(a, 130)), 0u);
+  EXPECT_EQ(sys.run(op_scan_down(a, 1)), 0u);
+}
+
+TEST(PackedSim, ClearRangesRespectWordBoundaries) {
+  SimPackedFixture sys;
+  SimArray a = env::SimEnv::make_packed_bin_array_bits(sys.memory, "A", 70,
+                                                       ~std::uint64_t{0});
+  for (std::uint32_t v = 65; v <= 70; ++v) {
+    (void)sys.run(op_set(a, v));
+  }
+  // clear_down(64): word 0 fully cleared, word 1 untouched.
+  (void)sys.run(op_clear_down(a, 64));
+  EXPECT_EQ(env::SimEnv::peek_packed_word(a, 0), 0u);
+  EXPECT_EQ(env::SimEnv::peek_packed_word(a, 1), 0x3fu);
+  // clear_up(66): bins 66..70 cleared, bin 65 kept.
+  (void)sys.run(op_clear_up(a, 66));
+  EXPECT_EQ(env::SimEnv::peek_packed_word(a, 1), 1u);
+  // Partial clear inside word 0.
+  for (std::uint32_t v = 1; v <= 10; ++v) {
+    (void)sys.run(op_set(a, v));
+  }
+  (void)sys.run(op_clear_down(a, 5));
+  EXPECT_EQ(env::SimEnv::peek_packed_word(a, 0), 0x3e0u);  // bins 6..10
+}
+
+TEST(PackedSim, SnapshotIsThePackedWordVector) {
+  // mem(C) of a packed array is one 64-bit word per cell — the packed
+  // representation is itself the memory representation the HI definitions
+  // compare.
+  SimPackedFixture sys;
+  SimArray a = env::SimEnv::make_packed_bin_array(sys.memory, "A", 70, 3);
+  const auto snap = sys.memory.snapshot();
+  ASSERT_EQ(snap.words.size(), 2u);
+  EXPECT_EQ(snap.words[0], 4u);
+  EXPECT_EQ(snap.words[1], 0u);
+  EXPECT_EQ(sys.memory.object(0).name(), "A.w[0]");
+  EXPECT_EQ(sys.memory.object(1).name(), "A.w[1]");
+}
+
+// ---- the same edge cases over RtEnv's eager atomics ----
+
+TEST(PackedRt, NonMultipleOf64SizesAndWordBoundaryBins) {
+  RtArray a = env::RtEnv::make_packed_bin_array(env::RtEnv::Ctx{}, "A", 70,
+                                                65);
+  ASSERT_EQ(env::RtEnv::packed_words(a), 2u);
+  EXPECT_EQ(env::RtEnv::peek_packed_word(a, 0), 0u);
+  EXPECT_EQ(env::RtEnv::peek_packed_word(a, 1), 1u);
+
+  (void)RtBins::set(a, 64).await_resume();
+  (void)RtBins::set(a, 70).await_resume();
+  EXPECT_EQ(RtBins::peek(a, 64), 1u);
+  EXPECT_EQ(RtBins::peek(a, 65), 1u);
+  EXPECT_EQ(RtBins::scan_up(a, 1).get(), 64u);
+  EXPECT_EQ(RtBins::scan_up(a, 65).get(), 65u);
+  EXPECT_EQ(RtBins::scan_up(a, 66).get(), 70u);
+  EXPECT_EQ(RtBins::scan_down(a, 69).get(), 65u);
+  EXPECT_EQ(RtBins::scan_down(a, 63).get(), 0u);
+
+  (void)RtBins::clear(a, 65).await_resume();
+  EXPECT_EQ(RtBins::peek(a, 64), 1u) << "clear(65) must not touch word 0";
+  EXPECT_EQ(RtBins::scan_down(a, 70).get(), 70u);
+
+  (void)RtBins::clear_down(a, 64).get();
+  EXPECT_EQ(env::RtEnv::peek_packed_word(a, 0), 0u);
+  (void)RtBins::clear_up(a, 66).get();
+  EXPECT_EQ(env::RtEnv::peek_packed_word(a, 1), 0u);
+  EXPECT_EQ(RtBins::scan_up(a, 1).get(), 0u) << "all-zero scan";
+}
+
+TEST(PackedRt, BitsInitializationRoundTrip) {
+  const std::uint64_t bits = 0x123456789abcdef0ull;
+  RtArray a = env::RtEnv::make_packed_bin_array_bits(env::RtEnv::Ctx{}, "S",
+                                                     64, bits);
+  EXPECT_EQ(env::RtEnv::peek_packed_word(a, 0), bits);
+  for (std::uint32_t v = 1; v <= 64; ++v) {
+    EXPECT_EQ(RtBins::peek(a, v), (bits >> (v - 1)) & 1) << "bin " << v;
+  }
+  RtArray b = env::RtEnv::make_packed_bin_array_bits(env::RtEnv::Ctx{}, "T",
+                                                     10, ~std::uint64_t{0});
+  EXPECT_EQ(env::RtEnv::peek_packed_word(b, 0), (std::uint64_t{1} << 10) - 1);
+}
+
+TEST(PackedRt, FootprintIsTwoCacheLinesAtK1024) {
+  // The representation/bit-complexity tradeoff the packing buys: K=1024
+  // bins in 128 contiguous bytes, vs 64 KiB of padded per-bit cells.
+  RtArray packed = env::RtEnv::make_packed_bin_array(env::RtEnv::Ctx{}, "A",
+                                                     1024, 1);
+  EXPECT_EQ(RtBins::footprint_bytes(packed), 128u);
+  auto padded = env::RtEnv::make_bin_array(env::RtEnv::Ctx{}, "A", 1024, 1);
+  EXPECT_EQ(env::PaddedBins<env::RtEnv>::footprint_bytes(padded),
+            1024u * sizeof(rt::BinCell));
+  EXPECT_GE(sizeof(rt::BinCell), 64u);
+}
+
+// ---- re-derived sim step counts for the packed hot paths ----
+//
+// The padded layout's counterparts: an Algorithm 2 Write is exactly K
+// steps, a solo Read 2m-1 steps (m = value read). Packed: a Write is
+// 1 fetch_or + one fetch_and per word below + one per word at-or-above,
+// a solo Read one word load per 64 bins scanned in each direction.
+
+TEST(PackedStepCounts, LockFreeWriteIsPerWordNotPerBin) {
+  const std::uint32_t k = 70;  // 2 words
+  testing::RegisterSystem<core::PackedLockFreeHiRegister> sys(k);
+
+  // Write(2): set(2) = 1 fetch_or; clear_down(1) = 1 fetch_and (word 0);
+  // clear_up(3) = 2 fetch_ands (words 0 and 1). Total 4 (padded: 70).
+  std::uint64_t before = sys.sched.steps_of(kWriterPid);
+  (void)sim::run_solo(sys.sched, kWriterPid, sys.impl.write(kWriterPid, 2));
+  EXPECT_EQ(sys.sched.steps_of(kWriterPid) - before, 4u);
+
+  // Write(70): set = 1; clear_down(69) = 2 fetch_ands (words 1, 0);
+  // clear_up(71) is out of range = 0. Total 3.
+  before = sys.sched.steps_of(kWriterPid);
+  (void)sim::run_solo(sys.sched, kWriterPid, sys.impl.write(kWriterPid, 70));
+  EXPECT_EQ(sys.sched.steps_of(kWriterPid) - before, 3u);
+
+  // Write(1): set = 1; clear_down(0) = 0; clear_up(2) = 2. Total 3.
+  before = sys.sched.steps_of(kWriterPid);
+  (void)sim::run_solo(sys.sched, kWriterPid, sys.impl.write(kWriterPid, 1));
+  EXPECT_EQ(sys.sched.steps_of(kWriterPid) - before, 3u);
+}
+
+TEST(PackedStepCounts, LockFreeTryReadScansWordsNotBins) {
+  // The re-derived Algorithm 2/3 TryRead upward-scan expectation: a solo
+  // Read is ONE TryRead; with the value at bin 65 of K=70 the upward scan
+  // loads word 0 (zero) then word 1 (hit), and the downward confirmation
+  // loads word 0 once more — 3 steps total (padded: 2·65−1 = 129).
+  const std::uint32_t k = 70;
+  testing::RegisterSystem<core::PackedLockFreeHiRegister> sys(k);
+  (void)sim::run_solo(sys.sched, kWriterPid, sys.impl.write(kWriterPid, 65));
+
+  std::uint64_t before = sys.sched.steps_of(kReaderPid);
+  EXPECT_EQ(sim::run_solo(sys.sched, kReaderPid, sys.impl.read(kReaderPid)),
+            65u);
+  EXPECT_EQ(sys.sched.steps_of(kReaderPid) - before, 3u);
+
+  // Value in word 0 (bin 2): scan_up hits word 0 immediately; the
+  // confirmation scan_down(1) re-loads word 0. 2 steps.
+  (void)sim::run_solo(sys.sched, kWriterPid, sys.impl.write(kWriterPid, 2));
+  before = sys.sched.steps_of(kReaderPid);
+  EXPECT_EQ(sim::run_solo(sys.sched, kReaderPid, sys.impl.read(kReaderPid)),
+            2u);
+  EXPECT_EQ(sys.sched.steps_of(kReaderPid) - before, 2u);
+
+  // Value 1: scan_up hits word 0; no bins below. 1 step.
+  (void)sim::run_solo(sys.sched, kWriterPid, sys.impl.write(kWriterPid, 1));
+  before = sys.sched.steps_of(kReaderPid);
+  EXPECT_EQ(sim::run_solo(sys.sched, kReaderPid, sys.impl.read(kReaderPid)),
+            1u);
+  EXPECT_EQ(sys.sched.steps_of(kReaderPid) - before, 1u);
+}
+
+TEST(PackedStepCounts, MaxRegisterAbsorbedWriteStaysZeroSteps) {
+  const std::uint32_t k = 70;
+  const spec::MaxRegisterSpec spec(k, 1);
+  sim::Memory memory;
+  sim::Scheduler sched(2);
+  core::PackedHiMaxRegister reg(memory, spec, kWriterPid, kReaderPid);
+
+  // Raise the maximum to 65: set(65) = 1 fetch_or; clear_down(64) = 1
+  // fetch_and (word 0 only — word 1 keeps the new maximum). 2 steps.
+  std::uint64_t before = sched.steps_of(kWriterPid);
+  (void)sim::run_solo(sched, kWriterPid, reg.write_max(kWriterPid, 65));
+  EXPECT_EQ(sched.steps_of(kWriterPid) - before, 2u);
+
+  // Absorbed write: still ZERO shared-memory steps — packing must not add
+  // a footprint to the §5.1 absorbed fast path.
+  before = sched.steps_of(kWriterPid);
+  (void)sim::run_solo(sched, kWriterPid, reg.write_max(kWriterPid, 30));
+  EXPECT_EQ(sched.steps_of(kWriterPid) - before, 0u);
+
+  // ReadMax at m=65: 2 loads up + 1 confirmation load. 3 steps.
+  before = sched.steps_of(kReaderPid);
+  EXPECT_EQ(sim::run_solo(sched, kReaderPid, reg.read_max(kReaderPid)), 65u);
+  EXPECT_EQ(sched.steps_of(kReaderPid) - before, 3u);
+
+  // Canonical at quiescence: can(65) = e_65, as one word image.
+  const auto snap = memory.snapshot();
+  ASSERT_EQ(snap.words.size(), 2u);
+  EXPECT_EQ(snap.words[0], 0u);
+  EXPECT_EQ(snap.words[1], 1u);
+}
+
+TEST(PackedStepCounts, HiSetOpsAreOnePrimitiveEach) {
+  const std::uint32_t domain = 64;
+  const spec::SetSpec spec(domain);
+  sim::Memory memory;
+  sim::Scheduler sched(1);
+  core::PackedHiSet set(memory, spec);
+
+  const std::uint64_t before = sched.steps_of(0);
+  EXPECT_TRUE(sim::run_solo(sched, 0, set.insert(64)));
+  EXPECT_TRUE(sim::run_solo(sched, 0, set.lookup(64)));
+  EXPECT_TRUE(sim::run_solo(sched, 0, set.remove(64)));
+  EXPECT_FALSE(sim::run_solo(sched, 0, set.lookup(64)));
+  EXPECT_EQ(sched.steps_of(0) - before, 4u);
+
+  // Perfect HI, packed edition: the single word IS the membership bitmap.
+  EXPECT_TRUE(sim::run_solo(sched, 0, set.insert(3)));
+  EXPECT_TRUE(sim::run_solo(sched, 0, set.insert(64)));
+  const auto snap = memory.snapshot();
+  ASSERT_EQ(snap.words.size(), 1u);
+  EXPECT_EQ(snap.words[0], (std::uint64_t{1} << 63) | 0x4u);
+}
+
+}  // namespace
+}  // namespace hi

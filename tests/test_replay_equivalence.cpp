@@ -117,6 +117,28 @@ TEST(ReplayEquivalence, WaitFreeHiRegisterRecordedSchedules) {
                             replay::WaitFreeHiRegister>(4, 6, 6, 302);
 }
 
+// Packed-layout twins: K=70 spans two packed words, so the recorded
+// schedules cover fetch_or/fetch_and RMWs and word-boundary scans executing
+// over the actual hardware atomics. Packed cells encode one snapshot word
+// each on both backends, so the comparison stays word-for-word.
+
+TEST(ReplayEquivalence, PackedVidyasankarRecordedSchedules) {
+  register_replay_roundtrip<core::PackedVidyasankarRegister,
+                            replay::PackedVidyasankarRegister>(70, 8, 6, 111);
+}
+
+TEST(ReplayEquivalence, PackedLockFreeHiRegisterRecordedSchedules) {
+  register_replay_roundtrip<core::PackedLockFreeHiRegister,
+                            replay::PackedLockFreeHiRegister>(70, 8, 6, 211);
+  register_replay_roundtrip<core::PackedLockFreeHiRegister,
+                            replay::PackedLockFreeHiRegister>(65, 10, 4, 212);
+}
+
+TEST(ReplayEquivalence, PackedWaitFreeHiRegisterRecordedSchedules) {
+  register_replay_roundtrip<core::PackedWaitFreeHiRegister,
+                            replay::PackedWaitFreeHiRegister>(70, 8, 6, 311);
+}
+
 // ---- §5.1 max register and perfect-HI set ----
 
 TEST(ReplayEquivalence, MaxRegisterRecordedSchedules) {
@@ -296,11 +318,12 @@ TEST(ReplayEquivalence, LeakyUniversalRecordedSchedules) {
 // ---- Explorer Decision paths: EVERY interleaving of a small workload,
 // replayed over hardware atomics (the acceptance case for Alg 2/3). ----
 
+template <typename Impl>
 struct ExplorerRegSystem {
   spec::RegisterSpec spec;
   sim::Memory mem;
   sim::Scheduler sched;
-  core::LockFreeHiRegister impl;
+  Impl impl;
 
   explicit ExplorerRegSystem(std::uint32_t k)
       : spec(k, 1), sched(2), impl(mem, spec, kWriterPid, kReaderPid) {}
@@ -311,37 +334,57 @@ struct ExplorerRegSystem {
   }
 };
 
-TEST(ReplayEquivalence, ExplorerPathsLockFreeHiRegisterAllSchedules) {
-  const std::uint32_t k = 3;
+/// Explore EVERY schedule of Write(v) ‖ Read over K=k, then replay each
+/// Decision path over the ReplayEnv instantiation with per-step word
+/// comparison.
+template <typename SimImpl, typename ReplayImpl>
+void explorer_paths_roundtrip(std::uint32_t k, std::uint32_t write_value,
+                              std::size_t min_paths) {
   const spec::RegisterSpec spec(k, 1);
   const std::vector<std::vector<spec::RegisterSpec::Op>> workload = {
-      {spec::RegisterSpec::write(2)}, {spec::RegisterSpec::read()}};
+      {spec::RegisterSpec::write(write_value)}, {spec::RegisterSpec::read()}};
 
-  sim::Explorer<spec::RegisterSpec, ExplorerRegSystem> explorer(
-      spec, [k] { return std::make_unique<ExplorerRegSystem>(k); }, workload);
+  sim::Explorer<spec::RegisterSpec, ExplorerRegSystem<SimImpl>> explorer(
+      spec, [k] { return std::make_unique<ExplorerRegSystem<SimImpl>>(k); },
+      workload);
 
   std::vector<std::vector<sim::Decision>> prefixes;
   const auto stats = explorer.explore(
       {.max_depth = 40, .max_executions = 200'000}, nullptr,
-      [&](ExplorerRegSystem&, const auto&) {
+      [&](ExplorerRegSystem<SimImpl>&, const auto&) {
         prefixes.push_back(explorer.current_prefix());
       });
   ASSERT_TRUE(stats.exhausted);
-  ASSERT_GE(prefixes.size(), 20u);
+  ASSERT_GE(prefixes.size(), min_paths);
 
   for (const auto& prefix : prefixes) {
     const sim::ScheduleTrace trace = explorer.trace_of(prefix);
-    testing::RegisterSystem<core::LockFreeHiRegister> sim_sys(k);
+    testing::RegisterSystem<SimImpl> sim_sys(k);
     sim::Memory replay_memory;
     sim::Scheduler replay_sched(2);
-    replay::LockFreeHiRegister replay_impl(replay_memory, spec, kWriterPid,
-                                           kReaderPid);
+    ReplayImpl replay_impl(replay_memory, spec, kWriterPid, kReaderPid);
     const verify::ReplayReport report = verify::replay_differential(
         spec, sim_sys.sched, sim_sys.impl, replay_sched, replay_impl, workload,
         trace, verify::snapshot_word_compare(sim_sys.memory, replay_memory));
     ASSERT_TRUE(report.ok)
         << report.message << "\ntrace:\n" << trace.pretty();
   }
+}
+
+TEST(ReplayEquivalence, ExplorerPathsLockFreeHiRegisterAllSchedules) {
+  explorer_paths_roundtrip<core::LockFreeHiRegister,
+                           replay::LockFreeHiRegister>(3, 2, 20);
+}
+
+TEST(ReplayEquivalence, ExplorerPathsPackedLockFreeHiRegisterAllSchedules) {
+  // The packed Write(2) ‖ Read equivalence: every word-granularity
+  // interleaving (fetch_or/fetch_and vs word-load snapshots) model-checked
+  // by the explorer, then differentially replayed over the hardware RMWs.
+  explorer_paths_roundtrip<core::PackedLockFreeHiRegister,
+                           replay::PackedLockFreeHiRegister>(3, 2, 10);
+  // Two packed words: the boundary-crossing schedules.
+  explorer_paths_roundtrip<core::PackedLockFreeHiRegister,
+                           replay::PackedLockFreeHiRegister>(70, 65, 10);
 }
 
 // ---- A hand-written ScheduleTrace literal (the persisted-counterexample

@@ -136,6 +136,22 @@ TEST(ReplayFuzz, WaitFreeHiRegister) {
   fuzz_register<core::WaitFreeHiRegister, replay::WaitFreeHiRegister>(5);
 }
 
+// Packed-layout twins at K=70 (two packed words): random schedules cross
+// the word boundary mid-scan and interleave fetch_or/fetch_and RMWs with
+// word-load snapshots, differentially replayed over the hardware atomics.
+TEST(ReplayFuzz, PackedVidyasankar) {
+  fuzz_register<core::PackedVidyasankarRegister,
+                replay::PackedVidyasankarRegister>(70);
+}
+TEST(ReplayFuzz, PackedLockFreeHiRegister) {
+  fuzz_register<core::PackedLockFreeHiRegister,
+                replay::PackedLockFreeHiRegister>(70);
+}
+TEST(ReplayFuzz, PackedWaitFreeHiRegister) {
+  fuzz_register<core::PackedWaitFreeHiRegister,
+                replay::PackedWaitFreeHiRegister>(70);
+}
+
 // ---- max register ----
 
 TEST(ReplayFuzz, MaxRegister) {
@@ -157,6 +173,28 @@ TEST(ReplayFuzz, MaxRegister) {
   }
 }
 
+TEST(ReplayFuzz, PackedMaxRegister) {
+  const std::uint32_t k = 70;  // two packed words
+  const spec::MaxRegisterSpec spec(k, 1);
+  for (std::uint64_t seed = 1; seed <= fuzz_seeds(); ++seed) {
+    const auto workload = testing::max_register_workload(k, 6, seed);
+    const auto failure =
+        fuzz_once<spec::MaxRegisterSpec, core::PackedHiMaxRegister,
+                  replay::PackedHiMaxRegister>(
+            spec, 2, workload, seed,
+            [&](sim::Memory& m) {
+              return core::PackedHiMaxRegister(m, spec, kWriterPid,
+                                               kReaderPid);
+            },
+            [&](sim::Memory& m) {
+              return replay::PackedHiMaxRegister(m, spec, kWriterPid,
+                                                 kReaderPid);
+            },
+            word_compare);
+    ASSERT_FALSE(failure.has_value()) << *failure;
+  }
+}
+
 // ---- perfect-HI set ----
 
 TEST(ReplayFuzz, HiSet) {
@@ -168,6 +206,23 @@ TEST(ReplayFuzz, HiSet) {
         spec, 2, workload, seed,
         [&](sim::Memory& m) { return core::HiSet(m, spec); },
         [&](sim::Memory& m) { return replay::HiSet(m, spec); }, word_compare);
+    ASSERT_FALSE(failure.has_value()) << *failure;
+  }
+}
+
+TEST(ReplayFuzz, PackedHiSet) {
+  // Packed set: the whole domain is ONE atomic word; every insert/remove is
+  // a fetch_or/fetch_and racing every other operation on the same cell.
+  const std::uint32_t domain = 64;
+  const spec::SetSpec spec(domain);
+  for (std::uint64_t seed = 1; seed <= fuzz_seeds(); ++seed) {
+    const auto workload = testing::set_workload(domain, 6, seed);
+    const auto failure =
+        fuzz_once<spec::SetSpec, core::PackedHiSet, replay::PackedHiSet>(
+            spec, 2, workload, seed,
+            [&](sim::Memory& m) { return core::PackedHiSet(m, spec); },
+            [&](sim::Memory& m) { return replay::PackedHiSet(m, spec); },
+            word_compare);
     ASSERT_FALSE(failure.has_value()) << *failure;
   }
 }

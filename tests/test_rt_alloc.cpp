@@ -164,6 +164,28 @@ TEST(RtAllocSteadyState, WaitFreeHiRegister) {
             }));
 }
 
+TEST(RtAllocSteadyState, LockFreeHiRegisterPackedLargeK) {
+  // The packed large-K hot path (16-word scans + masked clears, plus the
+  // scan Sub frames the word-scan library adds) must stay allocation-free:
+  // the new bench rows inherit the allocs_per_op == 0 gate from this
+  // contract.
+  rt::RtLockFreeHiRegister reg(1024);
+  EXPECT_EQ(0u, steady_state_allocs([&](int i) {
+              reg.write(static_cast<std::uint32_t>(i % 1024) + 1);
+              (void)reg.read(/*max_attempts=*/4);
+            }));
+}
+
+TEST(RtAllocSteadyState, LockFreeHiRegisterPaddedLayout) {
+  // The padded alias (kept for the layout-comparison bench rows) shares
+  // the contract.
+  rt::RtLockFreeHiRegisterPadded reg(64);
+  EXPECT_EQ(0u, steady_state_allocs([&](int i) {
+              reg.write(static_cast<std::uint32_t>(i % 64) + 1);
+              (void)reg.read(/*max_attempts=*/4);
+            }));
+}
+
 TEST(RtAllocSteadyState, MaxRegister) {
   rt::RtMaxRegister reg(64);
   EXPECT_EQ(0u, steady_state_allocs([&](int i) {

@@ -3,8 +3,9 @@
 
 Usage:
     check_bench.py --fresh <dir> [--baseline <dir>] [--suites a,b,...]
+                   [--warn-threshold 0.15]
 
-Two responsibilities (docs/PERF.md "How CI consumes the artifacts"):
+Three responsibilities (docs/PERF.md "How CI consumes the artifacts"):
 
 1. HARD GATE — allocation discipline. Every result row of every fresh
    BENCH_*.json must report allocs_per_op == 0.0: the RtEnv frame arena is
@@ -13,12 +14,17 @@ Two responsibilities (docs/PERF.md "How CI consumes the artifacts"):
    measured" marker, also fails — a vacuous zero must not pass the gate).
    Exit status 1 on violation.
 
-2. REPORT ONLY — throughput drift. Each fresh result is diffed against the
-   committed baseline artifact of the same suite (bench/baselines/) by
-   (name, threads) key and the ops_per_sec delta is printed. CI-runner
-   numbers are noisy, so this never fails the job; it exists so a human
-   reading the log can spot a trend (see the regression walkthrough in
-   docs/PERF.md).
+2. VISIBLE WARNING — throughput drift. Each fresh result is diffed against
+   the committed baseline artifact of the same suite (bench/baselines/) by
+   (name, threads) key. Rows regressing more than --warn-threshold
+   (default 15%) are promoted from the scrolling per-row log to GitHub
+   `::warning` annotations plus an end-of-run summary, so perf regressions
+   stop scrolling by silently. CI-runner numbers are noisy, so this still
+   never fails the job — it exists to make a human look (see the
+   regression walkthrough in docs/PERF.md).
+
+3. REPORT ONLY — per-row deltas (ops/sec and bytes_per_object) for trend
+   reading in the log.
 """
 
 import argparse
@@ -28,6 +34,9 @@ import os
 import sys
 
 DEFAULT_SUITES = ["registers", "rllsc", "universal", "max_register", "hi_set"]
+
+REQUIRED_ROW_KEYS = ("name", "threads", "ops_per_sec", "p50_ns", "p99_ns",
+                     "allocs_per_op", "bytes_per_object")
 
 
 def load(path):
@@ -51,8 +60,7 @@ def check_schema(suite, doc):
         errors.append("results must be a non-empty list")
         return errors
     for row in results:
-        for key in ("name", "threads", "ops_per_sec", "p50_ns", "p99_ns",
-                    "allocs_per_op"):
+        for key in REQUIRED_ROW_KEYS:
             if key not in row:
                 errors.append(f"result {row.get('name', '?')!r} missing {key!r}")
     return errors
@@ -68,7 +76,7 @@ def check_alloc_gate(doc):
     return bad
 
 
-def report_throughput(suite, fresh, baseline):
+def report_throughput(suite, fresh, baseline, warn_threshold, warnings):
     if baseline is None:
         print(f"  [{suite}] no committed baseline — skipping throughput diff")
         return
@@ -84,9 +92,18 @@ def report_throughput(suite, fresh, baseline):
             print(f"  [{suite}] {label}: new result, no baseline")
             continue
         delta = (row["ops_per_sec"] - base["ops_per_sec"]) / base["ops_per_sec"]
+        note = ""
+        bytes_fresh = row.get("bytes_per_object")
+        bytes_base = base.get("bytes_per_object")
+        if bytes_base not in (None, bytes_fresh):
+            note = f", bytes/object {bytes_base} -> {bytes_fresh}"
         print(f"  [{suite}] {label}: {row['ops_per_sec']:.0f} ops/s "
-              f"vs baseline {base['ops_per_sec']:.0f} ({delta:+.1%}, "
-              "report-only)")
+              f"vs baseline {base['ops_per_sec']:.0f} ({delta:+.1%}{note})")
+        if delta < -warn_threshold:
+            warnings.append(
+                f"{suite}: {label} regressed {delta:+.1%} "
+                f"({base['ops_per_sec']:.0f} -> {row['ops_per_sec']:.0f} "
+                "ops/s vs committed baseline)")
 
 
 def main():
@@ -97,10 +114,14 @@ def main():
                         help="directory holding committed baseline artifacts")
     parser.add_argument("--suites", default=",".join(DEFAULT_SUITES),
                         help="comma-separated suite names")
+    parser.add_argument("--warn-threshold", type=float, default=0.15,
+                        help="ops/sec regression fraction that raises a "
+                             "visible CI warning (default 0.15 = 15%%)")
     args = parser.parse_args()
 
     suites = [s for s in args.suites.split(",") if s]
     failures = []
+    warnings = []
     for suite in suites:
         fresh_path = os.path.join(args.fresh, f"BENCH_{suite}.json")
         if not os.path.exists(fresh_path):
@@ -130,7 +151,8 @@ def main():
                 except (OSError, json.JSONDecodeError) as err:
                     print(f"  [{suite}] unreadable baseline ({err}); "
                           "skipping diff")
-        report_throughput(suite, fresh, baseline)
+        report_throughput(suite, fresh, baseline, args.warn_threshold,
+                          warnings)
 
     stray = sorted(
         os.path.basename(p) for p in glob.glob(
@@ -140,12 +162,24 @@ def main():
         print(f"  note: unchecked artifacts present: {', '.join(stray)} "
               "(add them to --suites and bench/baselines/)")
 
+    if warnings:
+        # GitHub Actions renders `::warning` lines as job annotations, so a
+        # regression is visible on the run summary page without log-diving;
+        # locally they read as a plain summary block. Warnings never fail
+        # the job — runner throughput is too noisy for a hard gate.
+        print(f"\nBENCH throughput warnings (> {args.warn_threshold:.0%} "
+              "below baseline):")
+        for warning in warnings:
+            print(f"::warning title=bench throughput regression::{warning}")
+            print(f"  ! {warning}")
     if failures:
         print("\nBENCH check FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print("\nBENCH check passed: every suite reports allocs_per_op == 0.")
+    print("\nBENCH check passed: every suite reports allocs_per_op == 0"
+          + (f"; {len(warnings)} throughput warning(s) above." if warnings
+             else " and no throughput warnings."))
     return 0
 
 
