@@ -1,0 +1,137 @@
+// Sharded perfect-HI store on hardware (RtShardedHiSet, the RtEnv
+// instantiation of algo/sharded_set.h): millions of keys behind one
+// linearizable facade, every operation one seq_cst atomic on one word of
+// one shard.
+//
+// What the shard sweep measures: the workload concentrates a multi-threaded
+// insert/remove/contains mix on a window of ADJACENT hot keys (plus a tail
+// of cold lookups across the whole domain — the realistic skew for an audit
+// store). Under ONE shard those hot keys pack into a handful of adjacent
+// words — one or two cache lines every thread RMWs — so throughput is
+// word-contention-bound. Under kStriped placement with N shards the same
+// hot window spreads across N separately-allocated shards (different words,
+// different cache lines), so contention drops roughly ∝ N until thread
+// count or memory latency takes over: ops/sec must scale monotonically
+// 1 → 16 shards (the check_bench.py acceptance bound is ≥ 2× at 16 vs 1).
+// The mixed_blocked row pins the other end of the placement knob: kBlocked
+// keeps the hot window inside one shard regardless of shard count, so it
+// stays contention-bound — the tradeoff measured for PR 5's packed layout,
+// now tunable (docs/PERF.md "Reading the sharded rows").
+//
+// bytes_per_object is the real shared-storage footprint: ~domain/8 bytes of
+// packed membership words plus one tail word per shard, gated in
+// check_bench.py at ≤ 2× the domain/8 information-theoretic floor (the
+// domain is parsed from the row name's "/<n>M/" segment).
+//
+// emit_bench_json() writes BENCH_sharded.json with build metadata and the
+// per-result allocs_per_op field (0.0 in steady state: the facade forwards
+// the shard's single coroutine frame, recycled by the per-thread arena).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "rt/sharded_set_rt.h"
+#include "util/bench_json.h"
+
+namespace hi {
+namespace {
+
+constexpr std::uint32_t kMillion = 1'000'000;
+// 256 adjacent hot keys in the middle of the domain: 4 packed words (well
+// under one cache line) when unsharded, N distinct words under N striped
+// shards.
+constexpr std::uint32_t kHotWindow = 256;
+
+/// Cheap per-op mixer (splitmix-style) — deterministic, allocation-free.
+constexpr std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The insert/remove/contains mix over a hot window plus cold lookups:
+/// op i of thread tid — 1/8 cold contains (anywhere in the domain),
+/// otherwise hot-window traffic at 25% insert / 25% remove / 50% contains.
+template <typename Set>
+void mixed_op(Set& set, std::uint32_t domain, int tid, std::size_t i) {
+  const std::uint64_t r = mix((static_cast<std::uint64_t>(tid) << 48) | i);
+  if ((i & 7) == 7) {
+    const std::uint32_t cold = static_cast<std::uint32_t>(r % domain) + 1;
+    benchmark::DoNotOptimize(set.lookup(cold));
+    return;
+  }
+  const std::uint32_t hot =
+      domain / 2 + static_cast<std::uint32_t>(r % kHotWindow) + 1;
+  switch (i & 3) {
+    case 0: benchmark::DoNotOptimize(set.insert(hot)); break;
+    case 1: benchmark::DoNotOptimize(set.remove(hot)); break;
+    default: benchmark::DoNotOptimize(set.lookup(hot)); break;
+  }
+}
+
+void BM_ShardedMixed(benchmark::State& state) {
+  static rt::RtShardedHiSet* set = nullptr;
+  if (state.thread_index() == 0) {
+    set = new rt::RtShardedHiSet(
+        kMillion, static_cast<std::uint32_t>(state.range(0)),
+        algo::ShardPlacement::kStriped);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    mixed_op(*set, kMillion, state.thread_index(), i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete set;
+    set = nullptr;
+  }
+}
+BENCHMARK(BM_ShardedMixed)
+    ->Name("sharded_mixed")
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Threads(4)->UseRealTime();
+
+/// Machine-readable results (BENCH_sharded.json) for cross-PR tracking.
+///
+/// Row naming contract (check_bench.py parses it): "…/<n>M/s<shards>" —
+/// <n> million keys of domain, <shards> shards. The mixed/* rows sweep
+/// shard count under kStriped at two domains; mixed_blocked/* pins the
+/// kBlocked end of the placement knob at the 16-shard point for a same-run
+/// contrast.
+void emit_bench_json() {
+  util::BenchReport report("sharded");
+  const auto mixed_rows = [&report](const char* prefix, std::uint32_t domain,
+                                    std::uint32_t millions,
+                                    algo::ShardPlacement placement) {
+    for (const std::uint32_t shards : {1u, 4u, 16u, 64u}) {
+      rt::RtShardedHiSet set(domain, shards, placement);
+      const std::string name = std::string(prefix) + "/" +
+                               std::to_string(millions) + "M/s" +
+                               std::to_string(shards);
+      auto result = util::measure_throughput(
+          name, /*threads=*/4, 200'000,
+          [&set, domain](int tid, std::size_t i) {
+            mixed_op(set, domain, tid, i);
+          });
+      result.bytes_per_object = set.memory_bytes();
+      report.add(std::move(result));
+    }
+  };
+  mixed_rows("mixed", kMillion, 1, algo::ShardPlacement::kStriped);
+  mixed_rows("mixed", 16 * kMillion, 16, algo::ShardPlacement::kStriped);
+  mixed_rows("mixed_blocked", kMillion, 1, algo::ShardPlacement::kBlocked);
+  report.write();
+}
+
+}  // namespace
+}  // namespace hi
+
+int main(int argc, char** argv) {
+  hi::emit_bench_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,105 +1,107 @@
-// Auditable access-control set: a perfect-HI set (§5.1) in the simulator,
-// with an "auditor" who can dump the shared memory at ANY instant — even in
-// the middle of concurrent inserts and removes — and learns exactly the
-// current membership, never the churn.
+// Auditable access-control store at production scale: the sharded
+// perfect-HI set (algo/sharded_set.h) on real hardware — one million users
+// striped over 16 multi-word packed shards, concurrent administrator
+// threads churning memberships while an auditor runs periodic
+// full-membership scans.
 //
 // Think of a revocation list or an access-control group: it is often
 // essential that an investigator (or an attacker with a memory-dump
-// primitive) cannot learn that a user was added and hastily removed. With
-// the bitmap construction every configuration's memory IS the membership
-// bitmap — perfect history independence, Definition 5.
+// primitive) cannot learn that a user was added and hastily removed. Every
+// shard's memory IS its membership bitmap after every instruction (perfect
+// history independence, Definition 5), and the shard map is a pure function
+// of the user id, so the concatenated store memory is a pure function of
+// the current membership — never of the churn that produced it.
 //
 //   $ ./examples/audit_set
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
-#include <optional>
-#include <string>
+#include <thread>
 #include <vector>
 
-#include "core/hi_set.h"
-#include "sim/harness.h"
-#include "sim/memory.h"
-#include "sim/scheduler.h"
-#include "spec/set_spec.h"
-#include "util/rng.h"
+#include "rt/sharded_set_rt.h"
+
+namespace {
+
+constexpr std::uint32_t kUsers = 1'000'000;
+constexpr std::uint32_t kShards = 16;
+constexpr int kAdmins = 4;
+constexpr int kAudits = 8;
+constexpr std::uint32_t kChurnPerAdmin = 400'000;
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 int main() {
-  constexpr std::uint32_t kUsers = 12;
-  constexpr int kProcs = 4;
-  const hi::spec::SetSpec spec(kUsers);
-  hi::sim::Memory memory;
-  hi::sim::Scheduler sched(kProcs);
-  hi::core::HiSet group(memory, spec);
+  hi::rt::RtShardedHiSet store(kUsers, kShards,
+                               hi::algo::ShardPlacement::kStriped);
 
-  std::printf("=== Auditable access group over users 1..%u ===\n\n", kUsers);
+  std::printf("=== Auditable access store: %u users, %u shards ===\n",
+              kUsers, store.shard_count());
+  std::printf("footprint: %zu bytes of shared membership words "
+              "(domain/8 floor = %u bytes)\n\n",
+              store.memory_bytes(), kUsers / 8);
 
-  // Four administrators churn memberships concurrently; the auditor dumps
-  // memory after every single shared-memory step.
-  hi::util::Xoshiro256 rng(2024);
-  std::vector<std::vector<hi::spec::SetSpec::Op>> work(kProcs);
-  for (auto& ops : work) {
-    for (int i = 0; i < 8; ++i) {
-      const auto user = static_cast<std::uint32_t>(rng.next_in(1, kUsers));
-      ops.push_back(rng.chance(2, 3) ? hi::spec::SetSpec::insert(user)
-                                     : hi::spec::SetSpec::remove(user));
-    }
-  }
+  // Seed a stable membership: every 10th user enrolled.
+  for (std::uint32_t user = 1; user <= kUsers; user += 10) store.insert(user);
 
-  std::vector<std::optional<hi::sim::OpTask<bool>>> tasks(kProcs);
-  std::vector<std::size_t> next(kProcs, 0);
-  std::uint64_t audits = 0;
-  std::uint64_t distinct_states = 0;
-  std::uint64_t last_state = ~0ull;
-
-  for (;;) {
-    std::vector<int> enabled;
-    for (int pid = 0; pid < kProcs; ++pid) {
-      if (tasks[pid].has_value()) {
-        if (sched.runnable(pid)) enabled.push_back(pid);
-      } else if (next[pid] < work[pid].size()) {
-        enabled.push_back(pid);
+  // kAdmins administrator threads churn random users — enrol, revoke,
+  // re-check — while the main thread audits the FULL membership
+  // periodically via per-shard word scans. No locks anywhere: every
+  // membership operation is one atomic word access in one shard.
+  std::vector<std::thread> admins;
+  admins.reserve(kAdmins);
+  for (int a = 0; a < kAdmins; ++a) {
+    admins.emplace_back([&store, a] {
+      for (std::uint32_t i = 0; i < kChurnPerAdmin; ++i) {
+        const std::uint64_t r =
+            mix((static_cast<std::uint64_t>(a) << 32) | i);
+        const std::uint32_t user =
+            static_cast<std::uint32_t>(r % kUsers) + 1;
+        switch (i & 3) {
+          case 0: store.insert(user); break;
+          case 1: store.remove(user); break;
+          default: store.lookup(user); break;
+        }
       }
-    }
-    if (enabled.empty()) break;
-    const int pid = enabled[rng.next_below(enabled.size())];
-    if (!tasks[pid].has_value()) {
-      tasks[pid].emplace(group.apply(pid, work[pid][next[pid]++]));
-      sched.start(pid, *tasks[pid]);
-    } else {
-      sched.step(pid);
-    }
-    if (tasks[pid].has_value() && sched.op_finished(pid)) {
-      sched.finish(pid);
-      tasks[pid].reset();
-    }
-
-    // The audit: memory at this instant IS the membership bitmap.
-    const auto snap = memory.snapshot();
-    std::uint64_t bitmap = 0;
-    for (std::size_t i = 0; i < snap.words.size(); ++i) {
-      if (snap.words[i]) bitmap |= 1ull << i;
-    }
-    ++audits;
-    if (bitmap != last_state) {
-      ++distinct_states;
-      last_state = bitmap;
-    }
+    });
   }
 
-  std::printf("performed %llu mid-execution audits; the memory never held\n"
-              "anything besides the membership bitmap (%llu distinct states "
-              "seen).\n\n",
-              static_cast<unsigned long long>(audits),
-              static_cast<unsigned long long>(distinct_states));
-
-  std::printf("final membership: { ");
-  for (std::uint32_t user = 1; user <= kUsers; ++user) {
-    hi::sim::OpTask<bool> probe = group.lookup(user);
-    if (hi::sim::run_solo(sched, 0, std::move(probe))) {
-      std::printf("%u ", user);
-    }
+  std::vector<std::uint32_t> members;
+  members.reserve(kUsers / 8);
+  double total_audit_ms = 0.0;
+  for (int audit = 0; audit < kAudits; ++audit) {
+    members.clear();
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint32_t count = store.snapshot_members(members);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const double ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+    total_audit_ms += ms;
+    std::printf("audit %d: %u members enrolled, scanned %u words of shared "
+                "memory in %.2f ms\n",
+                audit + 1, count,
+                (kUsers + 63) / 64 /* == total packed words (+shard tails) */,
+                ms);
   }
-  std::printf("}\nfinal memory dump:  %s\n", memory.dump().c_str());
-  std::printf("\nNo trace remains of users that were added and removed — the\n"
-              "dump equals the canonical bitmap of the final membership.\n");
+
+  for (auto& admin : admins) admin.join();
+
+  members.clear();
+  const std::uint32_t final_count = store.snapshot_members(members);
+  std::printf("\nfinal membership after churn: %u users; mean audit latency "
+              "%.2f ms over %d mid-churn audits.\n",
+              final_count, total_audit_ms / kAudits, kAudits);
+  std::printf(
+      "The store's memory is the concatenation of per-shard membership\n"
+      "bitmaps — a pure function of WHO is enrolled now. No trace remains\n"
+      "of users that were added and removed, at any instant the auditor\n"
+      "(or an attacker) dumps it.\n");
   return 0;
 }

@@ -23,6 +23,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "env/env.h"
@@ -35,24 +36,36 @@ class HiSetAlg {
   template <typename T>
   using Op = typename Env::template Op<T>;
 
-  /// `initial_bits`: membership bitmap, bit (v-1) set <=> v initially in the
-  /// set — hence the Bins::make_bits factory rather than the registers'
-  /// one-hot initialization.
+  /// `initial_words`: membership bitmap, bit (v-1) of the flat multi-word
+  /// bitmap set <=> v initially in the set — hence the Bins::make_bits
+  /// factory rather than the registers' one-hot initialization. The domain
+  /// is unbounded (word v/64 is addressed directly; `util/bits.h` is the
+  /// single source of the geometry).
   ///
   /// Layouts: with env::PaddedBins every element is its own padded cell
   /// (disjoint elements never share a cache line); with env::PackedBins the
-  /// whole set is ONE word whose value IS the membership bitmap — still one
-  /// primitive per operation, still perfect HI (the memory representation
-  /// is exactly the abstract state, per Definition 5; adjacent states
-  /// differ in one base object, consistent with Proposition 6), but
-  /// concurrent writers to different elements now contend on one word
-  /// (the padded-vs-packed tradeoff, docs/PERF.md).
+  /// whole set is ceil(domain/64) words whose values ARE the membership
+  /// bitmap — still one primitive per operation, still perfect HI (the
+  /// memory representation is exactly the abstract state, per Definition 5;
+  /// adjacent states differ in one base object, consistent with
+  /// Proposition 6), but concurrent writers to elements sharing a word now
+  /// contend on that word (the padded-vs-packed tradeoff, docs/PERF.md).
+  /// `prefix` names the backing cells on the registering backends (the
+  /// sharded facade labels each shard's array distinctly: "S0", "S1", …).
+  HiSetAlg(typename Env::Ctx ctx, std::uint32_t domain,
+           std::span<const std::uint64_t> initial_words,
+           const char* prefix = "S")
+      : domain_(domain),
+        s_(Bins::make_bits(ctx, prefix, domain, initial_words)) {
+    assert(domain >= 1);
+  }
+
+  /// Single-word convenience constructor (source compatibility for ≤64-bin
+  /// call sites; with domain > 64 the remaining bins start 0).
   HiSetAlg(typename Env::Ctx ctx, std::uint32_t domain,
            std::uint64_t initial_bits)
-      : domain_(domain),
-        s_(Bins::make_bits(ctx, "S", domain, initial_bits)) {
-    assert(domain >= 1 && domain <= 64);
-  }
+      : HiSetAlg(ctx, domain,
+                 std::span<const std::uint64_t>(&initial_bits, 1)) {}
 
   /// Insert(v): one blind set of S[v] (a fetch_or when packed).
   Op<bool> insert(std::uint32_t value) {
@@ -71,6 +84,31 @@ class HiSetAlg {
     assert(value >= 1 && value <= domain_);
     const std::uint8_t bit = co_await Bins::read(s_, value);
     co_return bit == 1;
+  }
+
+  /// First member ≥ `from`, else 0 — Bins::scan_up forwarded without an
+  /// extra coroutine frame: one word load per 64 bins when packed, one bit
+  /// read per bin when padded. The building block of snapshot_members and
+  /// of the sharded facade's audit scan (algo/sharded_set.h).
+  typename Env::template Sub<std::uint32_t> next_member(std::uint32_t from) {
+    return Bins::scan_up(s_, from);
+  }
+
+  /// Snapshot(): enumerate the members ascending via iterated word scans —
+  /// one word load per 64 bins plus one reload per extra member sharing a
+  /// word (packed), one bit read per bin (padded). Each load is a single
+  /// primitive step, so the scan is NOT an atomic multi-word snapshot: it
+  /// observes every concurrently-quiescent member and linearizes per-word.
+  /// Appends to `out` (caller reserves capacity to keep rt paths
+  /// allocation-free); returns the member count.
+  Op<std::uint32_t> snapshot_members(std::vector<std::uint32_t>& out) {
+    std::uint32_t v = co_await Bins::scan_up(s_, 1);
+    while (v != 0) {
+      out.push_back(v);
+      if (v >= domain_) break;
+      v = co_await Bins::scan_up(s_, v + 1);
+    }
+    co_return static_cast<std::uint32_t>(out.size());
   }
 
   /// Observer-side memory image (S[1..t]); never a step of the model.

@@ -57,6 +57,7 @@
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
+#include <span>
 #include <utility>
 
 #include "util/bits.h"
@@ -172,9 +173,22 @@ struct PaddedBins {
                     std::uint32_t count, std::uint32_t one_index) {
     return Env::make_bin_array(ctx, prefix, count, one_index);
   }
+  /// Multi-word initializer: word w of `words` seeds bins 64w+1..64w+64
+  /// (bit v-1 of the flat bitmap = bin v); missing trailing words read as 0
+  /// and bits beyond `count` are dropped (util::init_word is the single
+  /// source of that geometry). This is THE make_bits form — the uint64_t
+  /// overload below is a convenience wrapper for ≤64-bin call sites.
+  static Array make_bits(typename Env::Ctx ctx, const char* prefix,
+                         std::uint32_t count,
+                         std::span<const std::uint64_t> words) {
+    return Env::make_bin_array_words(ctx, prefix, count, words);
+  }
+  /// Single-word convenience overload (source compatibility for ≤64 bins;
+  /// with count > 64 the remaining bins simply start 0).
   static Array make_bits(typename Env::Ctx ctx, const char* prefix,
                          std::uint32_t count, std::uint64_t bits) {
-    return Env::make_bin_array_bits(ctx, prefix, count, bits);
+    return Env::make_bin_array_words(ctx, prefix, count,
+                                     std::span<const std::uint64_t>(&bits, 1));
   }
 
   static std::uint32_t size(const Array& a) {
@@ -258,9 +272,19 @@ struct PackedBins {
                     std::uint32_t count, std::uint32_t one_index) {
     return Env::make_packed_bin_array(ctx, prefix, count, one_index);
   }
+  /// Multi-word initializer — see the PaddedBins counterpart for the word
+  /// geometry contract (util::init_word single-sources the tail masking).
+  static Array make_bits(typename Env::Ctx ctx, const char* prefix,
+                         std::uint32_t count,
+                         std::span<const std::uint64_t> words) {
+    return Env::make_packed_bin_array_words(ctx, prefix, count, words);
+  }
+  /// Single-word convenience overload (≤64-bin call sites; with count > 64
+  /// the remaining bins start 0).
   static Array make_bits(typename Env::Ctx ctx, const char* prefix,
                          std::uint32_t count, std::uint64_t bits) {
-    return Env::make_packed_bin_array_bits(ctx, prefix, count, bits);
+    return Env::make_packed_bin_array_words(
+        ctx, prefix, count, std::span<const std::uint64_t>(&bits, 1));
   }
 
   static std::uint32_t size(const Array& a) { return Env::packed_bins(a); }

@@ -40,6 +40,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -250,16 +251,26 @@ struct ReplayEnv {
     return array;
   }
 
-  static BinArray make_bin_array_bits(Ctx memory, const char* prefix,
-                                      std::uint32_t count, std::uint64_t bits) {
+  /// Multi-word bitmap initialization (util::bin_test; same word geometry
+  /// and factory order as SimEnv). Construction only.
+  static BinArray make_bin_array_words(Ctx memory, const char* prefix,
+                                       std::uint32_t count,
+                                       std::span<const std::uint64_t> words) {
     BinArray array;
     array.reserve(count);
     for (std::uint32_t v = 1; v <= count; ++v) {
       array.push_back(&memory.make<ReplayBinaryRegister>(
           std::string(prefix) + "[" + std::to_string(v) + "]",
-          ((bits >> (v - 1)) & 1) != 0));
+          util::bin_test(words, v)));
     }
     return array;
+  }
+
+  /// Single-word convenience form (bins 1..64 from `bits`).
+  static BinArray make_bin_array_bits(Ctx memory, const char* prefix,
+                                      std::uint32_t count, std::uint64_t bits) {
+    return make_bin_array_words(memory, prefix, count,
+                                std::span<const std::uint64_t>(&bits, 1));
   }
 
   /// read(A[index]) — one seq_cst atomic load, executed at the granted step.
@@ -307,21 +318,31 @@ struct ReplayEnv {
     return array;
   }
 
-  static PackedBinArray make_packed_bin_array_bits(Ctx memory,
-                                                   const char* prefix,
-                                                   std::uint32_t count,
-                                                   std::uint64_t bits) {
+  /// Multi-word bitmap initialization: word w starts from `words[w]`, tail
+  /// bits beyond `count` dropped (util::init_word; same factory order and
+  /// names as SimEnv). Construction only.
+  static PackedBinArray make_packed_bin_array_words(
+      Ctx memory, const char* prefix, std::uint32_t count,
+      std::span<const std::uint64_t> words) {
     PackedBinArray array;
     array.bins = count;
-    if (count < 64) bits &= (std::uint64_t{1} << count) - 1;
     const std::uint32_t nwords = util::bin_words(count);
     array.words.reserve(nwords);
     for (std::uint32_t w = 0; w < nwords; ++w) {
       array.words.push_back(&memory.make<ReplayPackedWordCell>(
           std::string(prefix) + ".w[" + std::to_string(w) + "]",
-          w == 0 ? bits : 0));
+          util::init_word(words, count, w)));
     }
     return array;
+  }
+
+  /// Single-word convenience form (bins 1..64 from `bits`).
+  static PackedBinArray make_packed_bin_array_bits(Ctx memory,
+                                                   const char* prefix,
+                                                   std::uint32_t count,
+                                                   std::uint64_t bits) {
+    return make_packed_bin_array_words(
+        memory, prefix, count, std::span<const std::uint64_t>(&bits, 1));
   }
 
   static std::uint32_t packed_bins(const PackedBinArray& array) {

@@ -26,6 +26,7 @@
 #include <exception>
 #include <new>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -270,16 +271,25 @@ struct RtEnv {
     return array;
   }
 
-  /// As make_bin_array, but slot v starts at bit (v-1) of `bits` (the §5.1
-  /// HI set's bitmap initialization). Construction only.
-  static BinArray make_bin_array_bits(Ctx, const char* /*prefix*/,
-                                      std::uint32_t count, std::uint64_t bits) {
+  /// As make_bin_array, but slot v starts at bit (v-1) of the flat
+  /// multi-word bitmap `words` (util::bin_test; missing trailing words read
+  /// as 0 — the §5.1 HI set's bitmap initialization). Construction only.
+  static BinArray make_bin_array_words(Ctx, const char* /*prefix*/,
+                                       std::uint32_t count,
+                                       std::span<const std::uint64_t> words) {
     BinArray array(count);
     for (std::uint32_t v = 1; v <= count; ++v) {
-      array[v - 1]->store(((bits >> (v - 1)) & 1) != 0 ? 1 : 0,
+      array[v - 1]->store(util::bin_test(words, v) ? 1 : 0,
                           std::memory_order_seq_cst);
     }
     return array;
+  }
+
+  /// Single-word convenience form (bins 1..64 from `bits`).
+  static BinArray make_bin_array_bits(Ctx ctx, const char* prefix,
+                                      std::uint32_t count, std::uint64_t bits) {
+    return make_bin_array_words(ctx, prefix, count,
+                                std::span<const std::uint64_t>(&bits, 1));
   }
 
   /// read(A[index]) — one seq_cst atomic load; models 1 binary-register-read
@@ -334,20 +344,30 @@ struct RtEnv {
     return array;
   }
 
-  /// As make_packed_bin_array, but bins 1..64 start from `bits` (bit v-1 =
-  /// bin v); bits beyond `count` are dropped. Construction only.
-  static PackedBinArray make_packed_bin_array_bits(Ctx, const char* /*prefix*/,
-                                                   std::uint32_t count,
-                                                   std::uint64_t bits) {
+  /// As make_packed_bin_array, but word w starts from `words[w]` (bit v-1
+  /// of the flat bitmap = bin v); missing trailing words read as 0 and bits
+  /// beyond `count` are dropped (util::init_word). Construction only.
+  static PackedBinArray make_packed_bin_array_words(
+      Ctx, const char* /*prefix*/, std::uint32_t count,
+      std::span<const std::uint64_t> words) {
     PackedBinArray array;
     array.bins = count;
-    if (count < 64) bits &= (std::uint64_t{1} << count) - 1;
     array.words = std::vector<std::atomic<std::uint64_t>>(
         util::bin_words(count));
     for (std::size_t w = 0; w < array.words.size(); ++w) {
-      array.words[w].store(w == 0 ? bits : 0, std::memory_order_seq_cst);
+      array.words[w].store(
+          util::init_word(words, count, static_cast<std::uint32_t>(w)),
+          std::memory_order_seq_cst);
     }
     return array;
+  }
+
+  /// Single-word convenience form (bins 1..64 from `bits`).
+  static PackedBinArray make_packed_bin_array_bits(Ctx ctx, const char* prefix,
+                                                   std::uint32_t count,
+                                                   std::uint64_t bits) {
+    return make_packed_bin_array_words(
+        ctx, prefix, count, std::span<const std::uint64_t>(&bits, 1));
   }
 
   static std::uint32_t packed_bins(const PackedBinArray& array) {

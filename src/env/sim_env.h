@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,19 +53,29 @@ struct SimEnv {
     return array;
   }
 
-  /// As make_bin_array, but slot v starts at bit (v-1) of `bits` — the
+  /// As make_bin_array, but slot v starts at bit (v-1) of the flat
+  /// multi-word bitmap `words` (word v/64, bit v%64 — util::bin_test) — the
   /// bitmap initialization the §5.1 HI set needs (arbitrary initial
-  /// membership rather than a single one-hot slot). Construction only.
-  static BinArray make_bin_array_bits(Ctx memory, const char* prefix,
-                                      std::uint32_t count, std::uint64_t bits) {
+  /// membership rather than a single one-hot slot). Missing trailing words
+  /// read as 0. Construction only.
+  static BinArray make_bin_array_words(Ctx memory, const char* prefix,
+                                       std::uint32_t count,
+                                       std::span<const std::uint64_t> words) {
     BinArray array;
     array.reserve(count);
     for (std::uint32_t v = 1; v <= count; ++v) {
       array.push_back(&memory.make<sim::BinaryRegister>(
           std::string(prefix) + "[" + std::to_string(v) + "]",
-          ((bits >> (v - 1)) & 1) != 0));
+          util::bin_test(words, v)));
     }
     return array;
+  }
+
+  /// Single-word convenience form (bins 1..64 from `bits`).
+  static BinArray make_bin_array_bits(Ctx memory, const char* prefix,
+                                      std::uint32_t count, std::uint64_t bits) {
+    return make_bin_array_words(memory, prefix, count,
+                                std::span<const std::uint64_t>(&bits, 1));
   }
 
   /// read(A[index]) — exactly 1 primitive step (the paper's binary-register
@@ -121,24 +132,32 @@ struct SimEnv {
     return array;
   }
 
-  /// As make_packed_bin_array, but bins 1..64 start from `bits` (bit v-1 =
-  /// bin v — the §5.1 HI set's bitmap initialization). Bits beyond `count`
-  /// are dropped so tail bins stay 0. Construction only.
-  static PackedBinArray make_packed_bin_array_bits(Ctx memory,
-                                                   const char* prefix,
-                                                   std::uint32_t count,
-                                                   std::uint64_t bits) {
+  /// As make_packed_bin_array, but word w starts from `words[w]` (bit v-1
+  /// of the flat bitmap = bin v — the §5.1 HI set's bitmap initialization).
+  /// Missing trailing words read as 0; bits beyond `count` are dropped so
+  /// tail bins stay 0 (util::init_word). Construction only.
+  static PackedBinArray make_packed_bin_array_words(
+      Ctx memory, const char* prefix, std::uint32_t count,
+      std::span<const std::uint64_t> words) {
     PackedBinArray array;
     array.bins = count;
-    if (count < 64) bits &= (std::uint64_t{1} << count) - 1;
     const std::uint32_t nwords = util::bin_words(count);
     array.words.reserve(nwords);
     for (std::uint32_t w = 0; w < nwords; ++w) {
       array.words.push_back(&memory.make<sim::PackedWordCell>(
           std::string(prefix) + ".w[" + std::to_string(w) + "]",
-          w == 0 ? bits : 0));
+          util::init_word(words, count, w)));
     }
     return array;
+  }
+
+  /// Single-word convenience form (bins 1..64 from `bits`).
+  static PackedBinArray make_packed_bin_array_bits(Ctx memory,
+                                                   const char* prefix,
+                                                   std::uint32_t count,
+                                                   std::uint64_t bits) {
+    return make_packed_bin_array_words(
+        memory, prefix, count, std::span<const std::uint64_t>(&bits, 1));
   }
 
   static std::uint32_t packed_bins(const PackedBinArray& array) {

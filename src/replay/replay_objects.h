@@ -26,6 +26,7 @@
 #include "baseline/strawman_queue.h"
 #include "core/hi_set.h"
 #include "core/max_register.h"
+#include "core/sharded_set.h"
 #include "core/swsr_wrapper.h"
 #include "env/replay_env.h"
 #include "sim/memory.h"
@@ -75,6 +76,13 @@ using PackedHiMaxRegister =
     core::BasicHiMaxRegister<env::ReplayEnv, env::PackedBins<env::ReplayEnv>>;
 using PackedHiSet =
     core::BasicHiSet<env::ReplayEnv, env::PackedBins<env::ReplayEnv>>;
+
+/// The sharded multi-word perfect-HI store (algo/sharded_set.h) over
+/// hardware atomics, scheduler-driven — same spec-driven apply and shard
+/// construction order as core::ShardedHiSet, so recorded sharded sim
+/// schedules replay over the exact per-shard fetch_or/fetch_and/load words
+/// RtEnv uses.
+using ShardedHiSet = core::BasicShardedHiSet<env::ReplayEnv>;
 
 /// Algorithm 6 (perfect-HI R-LLSC) over the 16-byte hardware word.
 using CasRllsc = algo::CasRllscAlg<env::ReplayEnv>;

@@ -61,6 +61,13 @@ struct BenchMeta {
   bool assertions = false;  // NDEBUG absent: assert() compiled in
   std::string sanitizer;    // "none" | "thread" | "address"
   std::string arch;
+  /// Hardware threads visible to the recording host. Contention-scaling
+  /// bounds (the sharded shard sweep) are only meaningful when the host can
+  /// actually run the bench threads in parallel — on a 1-core container
+  /// every thread time-slices on the same core, inter-core cache-line
+  /// ping-pong does not exist, and the sweep is pure noise. check_bench.py
+  /// reads this field to decide whether the scaling bound applies.
+  unsigned host_cores = 0;
 };
 
 inline const BenchMeta& bench_meta() {
@@ -102,6 +109,7 @@ inline const BenchMeta& bench_meta() {
 #else
     m.arch = "unknown";
 #endif
+    m.host_cores = std::thread::hardware_concurrency();
     return m;
   }();
   return meta;
@@ -221,11 +229,12 @@ class BenchReport {
     std::fprintf(out,
                  "  \"meta\": {\"compiler\": \"%s\", \"cplusplus\": %ld, "
                  "\"optimize\": %s, \"assertions\": %s, "
-                 "\"sanitizer\": \"%s\", \"arch\": \"%s\"},\n",
+                 "\"sanitizer\": \"%s\", \"arch\": \"%s\", "
+                 "\"host_cores\": %u},\n",
                  meta.compiler.c_str(), meta.cplusplus,
                  meta.optimize ? "true" : "false",
                  meta.assertions ? "true" : "false", meta.sanitizer.c_str(),
-                 meta.arch.c_str());
+                 meta.arch.c_str(), meta.host_cores);
     std::fprintf(out, "  \"results\": [\n");
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const BenchResult& r = results_[i];

@@ -5,6 +5,7 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <span>
 
 namespace hi::util {
 
@@ -89,6 +90,49 @@ constexpr std::uint64_t mask_upto(unsigned pos) noexcept {
   assert(pos < 64);
   return pos == 63 ? ~std::uint64_t{0}
                    : ((std::uint64_t{1} << (pos + 1)) - 1);
+}
+
+/// Mask of the bit positions of word `w` that hold live bins (1..count):
+/// all-ones for interior words, a low-bit prefix for the tail word when
+/// count % 64 != 0, zero for words past the array.
+constexpr std::uint64_t bin_live_mask(std::uint32_t count,
+                                      std::uint32_t w) noexcept {
+  if (std::uint64_t{w} * 64 >= count) return 0;
+  if (std::uint64_t{w} * 64 + 64 <= count) return ~std::uint64_t{0};
+  return mask_upto(bin_bit(count));
+}
+
+/// Word `w` of a multi-word bin initializer: words[w] when present (missing
+/// trailing words read as all-zero), with bits beyond `count` dropped so
+/// tail bins stay 0. The single source for the >64-bin make_bits factories
+/// of all three execution environments — generalizing the historical
+/// single-word `if (count < 64) bits &= (1 << count) - 1` masking.
+constexpr std::uint64_t init_word(std::span<const std::uint64_t> words,
+                                  std::uint32_t count,
+                                  std::uint32_t w) noexcept {
+  const std::uint64_t raw = w < words.size() ? words[w] : 0;
+  return raw & bin_live_mask(count, w);
+}
+
+/// Membership of 1-based bin `v` in a multi-word bitmap (bins past the
+/// vector read as 0). Observer-side shadow-model helper.
+constexpr bool bin_test(std::span<const std::uint64_t> words,
+                        std::uint32_t v) noexcept {
+  const std::uint32_t w = bin_word(v);
+  return w < words.size() && ((words[w] >> bin_bit(v)) & 1u) != 0;
+}
+
+/// Set / clear 1-based bin `v` in a multi-word bitmap (shadow-model side;
+/// the vector must already span bin v).
+constexpr void bin_set(std::span<std::uint64_t> words,
+                       std::uint32_t v) noexcept {
+  assert(bin_word(v) < words.size());
+  words[bin_word(v)] |= bin_mask(v);
+}
+constexpr void bin_clear(std::span<std::uint64_t> words,
+                         std::uint32_t v) noexcept {
+  assert(bin_word(v) < words.size());
+  words[bin_word(v)] &= ~bin_mask(v);
 }
 
 /// Mask of bit positions [pos, 63] (inclusive).

@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <span>
 #include <vector>
+
+#include "algo/hi_set.h"
 
 #include "core/hi_register_lockfree.h"
 #include "core/hi_set.h"
@@ -142,6 +145,79 @@ TEST(PackedSim, BitsInitializationRoundTrip) {
   EXPECT_EQ(env::SimEnv::peek_packed_word(b, 0), (std::uint64_t{1} << 10) - 1);
 }
 
+TEST(PackedSim, MultiWordBitsInitializationRoundTrip) {
+  SimPackedFixture sys;
+  const std::vector<std::uint64_t> words{0xdeadbeefcafef00dull,
+                                         0x0123456789abcdefull};
+  // Two full words: every bin round-trips through util::bin_test geometry.
+  SimArray a =
+      env::SimEnv::make_packed_bin_array_words(sys.memory, "S", 128, words);
+  ASSERT_EQ(env::SimEnv::packed_words(a), 2u);
+  EXPECT_EQ(env::SimEnv::peek_packed_word(a, 0), words[0]);
+  EXPECT_EQ(env::SimEnv::peek_packed_word(a, 1), words[1]);
+  for (std::uint32_t v = 1; v <= 128; ++v) {
+    EXPECT_EQ(SimBins::peek(a, v), util::bin_test(words, v) ? 1u : 0u)
+        << "bin " << v;
+  }
+  // 65 bins: word 1 keeps ONLY bit 0 (bin 65) of the initializer.
+  SimArray b =
+      env::SimEnv::make_packed_bin_array_words(sys.memory, "B", 65, words);
+  EXPECT_EQ(env::SimEnv::peek_packed_word(b, 0), words[0]);
+  EXPECT_EQ(env::SimEnv::peek_packed_word(b, 1), words[1] & 1u);
+  // K%64 != 0 tail masking: 70 bins of all-ones leave 6 live tail bits.
+  const std::vector<std::uint64_t> ones{~std::uint64_t{0}, ~std::uint64_t{0}};
+  SimArray c =
+      env::SimEnv::make_packed_bin_array_words(sys.memory, "C", 70, ones);
+  EXPECT_EQ(env::SimEnv::peek_packed_word(c, 1), 0x3fu);
+  // Missing trailing words read as all-zero.
+  const std::vector<std::uint64_t> short_init{~std::uint64_t{0}};
+  SimArray d = env::SimEnv::make_packed_bin_array_words(sys.memory, "D", 128,
+                                                        short_init);
+  EXPECT_EQ(env::SimEnv::peek_packed_word(d, 0), ~std::uint64_t{0});
+  EXPECT_EQ(env::SimEnv::peek_packed_word(d, 1), 0u);
+
+  // The padded layout shares the same initializer geometry.
+  auto padded =
+      env::SimEnv::make_bin_array_words(sys.memory, "P", 70, words);
+  for (std::uint32_t v = 1; v <= 70; ++v) {
+    EXPECT_EQ(env::SimEnv::peek_bit(padded, v),
+              util::bin_test(words, v) ? 1u : 0u)
+        << "bin " << v;
+  }
+}
+
+TEST(PackedSim, MultiWordHiSetAcrossWordBoundary) {
+  // The lifted §5.1 set past 64 bins: membership ops address word v/64
+  // directly (still one primitive each) and snapshot_members walks word
+  // scans across the boundary.
+  sim::Memory memory;
+  sim::Scheduler sched{1};
+  algo::HiSetAlgPacked<env::SimEnv> set(memory, 128,
+                                        std::span<const std::uint64_t>{});
+
+  const std::uint64_t before = sched.steps_of(0);
+  EXPECT_TRUE(sim::run_solo(sched, 0, set.insert(64)));
+  EXPECT_TRUE(sim::run_solo(sched, 0, set.insert(65)));
+  EXPECT_TRUE(sim::run_solo(sched, 0, set.insert(128)));
+  EXPECT_TRUE(sim::run_solo(sched, 0, set.lookup(65)));
+  EXPECT_FALSE(sim::run_solo(sched, 0, set.lookup(66)));
+  EXPECT_EQ(sched.steps_of(0) - before, 5u)
+      << "multi-word ops stay one primitive each";
+
+  std::vector<std::uint32_t> members;
+  EXPECT_EQ(sim::run_solo(sched, 0, set.snapshot_members(members)), 3u);
+  EXPECT_EQ(members, (std::vector<std::uint32_t>{64, 65, 128}));
+
+  // Memory is the two-word membership bitmap — perfect HI across words.
+  const auto snap = memory.snapshot();
+  ASSERT_EQ(snap.words.size(), 2u);
+  EXPECT_EQ(snap.words[0], std::uint64_t{1} << 63);
+  EXPECT_EQ(snap.words[1], (std::uint64_t{1} << 63) | 1u);
+
+  EXPECT_TRUE(sim::run_solo(sched, 0, set.remove(65)));
+  EXPECT_FALSE(sim::run_solo(sched, 0, set.lookup(65)));
+}
+
 TEST(PackedSim, ScansOnAllZeroArrayReturnZero) {
   SimPackedFixture sys;
   SimArray a = env::SimEnv::make_packed_bin_array(sys.memory, "A", 130, 0);
@@ -229,6 +305,47 @@ TEST(PackedRt, BitsInitializationRoundTrip) {
   RtArray b = env::RtEnv::make_packed_bin_array_bits(env::RtEnv::Ctx{}, "T",
                                                      10, ~std::uint64_t{0});
   EXPECT_EQ(env::RtEnv::peek_packed_word(b, 0), (std::uint64_t{1} << 10) - 1);
+}
+
+TEST(PackedRt, MultiWordBitsInitializationRoundTrip) {
+  const std::vector<std::uint64_t> words{0xdeadbeefcafef00dull,
+                                         0x0123456789abcdefull};
+  RtArray a = env::RtEnv::make_packed_bin_array_words(env::RtEnv::Ctx{}, "S",
+                                                      128, words);
+  ASSERT_EQ(env::RtEnv::packed_words(a), 2u);
+  EXPECT_EQ(env::RtEnv::peek_packed_word(a, 0), words[0]);
+  EXPECT_EQ(env::RtEnv::peek_packed_word(a, 1), words[1]);
+  for (std::uint32_t v = 1; v <= 128; ++v) {
+    EXPECT_EQ(RtBins::peek(a, v), util::bin_test(words, v) ? 1u : 0u)
+        << "bin " << v;
+  }
+  // K%64 != 0 tail masking across the boundary (65 and 70 bins).
+  const std::vector<std::uint64_t> ones{~std::uint64_t{0}, ~std::uint64_t{0}};
+  RtArray b = env::RtEnv::make_packed_bin_array_words(env::RtEnv::Ctx{}, "B",
+                                                      65, ones);
+  EXPECT_EQ(env::RtEnv::peek_packed_word(b, 1), 1u);
+  RtArray c = env::RtEnv::make_packed_bin_array_words(env::RtEnv::Ctx{}, "C",
+                                                      70, ones);
+  EXPECT_EQ(env::RtEnv::peek_packed_word(c, 1), 0x3fu);
+}
+
+TEST(PackedRt, MultiWordHiSetSnapshotMembers) {
+  // Same lifted-set coverage as the sim twin, over eager hardware atomics,
+  // with a >64-bit initial membership.
+  const std::vector<std::uint64_t> init{std::uint64_t{1} << 63,  // bin 64
+                                        0x5u};                   // bins 65, 67
+  algo::HiSetAlgPacked<env::RtEnv> set(env::RtEnv::Ctx{}, 130, init);
+  EXPECT_TRUE(set.lookup(64).get());
+  EXPECT_TRUE(set.lookup(65).get());
+  EXPECT_TRUE(set.lookup(67).get());
+  EXPECT_FALSE(set.lookup(66).get());
+  EXPECT_TRUE(set.insert(130).get());
+  EXPECT_TRUE(set.remove(65).get());
+
+  std::vector<std::uint32_t> members;
+  EXPECT_EQ(set.snapshot_members(members).get(), 3u);
+  EXPECT_EQ(members, (std::vector<std::uint32_t>{64, 67, 130}));
+  EXPECT_EQ(set.memory_bytes(), 3u * sizeof(std::uint64_t));
 }
 
 TEST(PackedRt, FootprintIsTwoCacheLinesAtK1024) {

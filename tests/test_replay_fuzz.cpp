@@ -26,6 +26,7 @@
 #include "core/hi_set.h"
 #include "core/max_register.h"
 #include "core/rllsc.h"
+#include "core/sharded_set.h"
 #include "core/universal.h"
 #include "core/vidyasankar.h"
 #include "register_common.h"
@@ -222,6 +223,31 @@ TEST(ReplayFuzz, PackedHiSet) {
             spec, 2, workload, seed,
             [&](sim::Memory& m) { return core::PackedHiSet(m, spec); },
             [&](sim::Memory& m) { return replay::PackedHiSet(m, spec); },
+            word_compare);
+    ASSERT_FALSE(failure.has_value()) << *failure;
+  }
+}
+
+TEST(ReplayFuzz, ShardedHiSet) {
+  // Sharded multi-word store under recorded random schedules: domain 64
+  // over 4 striped shards (16 bins each), so the trace's object ids span
+  // four independent packed words and the replay must route every recorded
+  // fetch_or/fetch_and/load to the same shard word the simulator touched.
+  const std::uint32_t domain = 64;
+  const spec::SetSpec spec(domain);
+  constexpr std::uint32_t kShards = 4;
+  constexpr auto kPlacement = algo::ShardPlacement::kStriped;
+  for (std::uint64_t seed = 1; seed <= fuzz_seeds(); ++seed) {
+    const auto workload = testing::set_workload(domain, 6, seed);
+    const auto failure =
+        fuzz_once<spec::SetSpec, core::ShardedHiSet, replay::ShardedHiSet>(
+            spec, 2, workload, seed,
+            [&](sim::Memory& m) {
+              return core::ShardedHiSet(m, spec, kShards, kPlacement);
+            },
+            [&](sim::Memory& m) {
+              return replay::ShardedHiSet(m, spec, kShards, kPlacement);
+            },
             word_compare);
     ASSERT_FALSE(failure.has_value()) << *failure;
   }

@@ -28,6 +28,7 @@
 #include "rt/max_register_rt.h"
 #include "rt/registers_rt.h"
 #include "rt/rllsc_rt.h"
+#include "rt/sharded_set_rt.h"
 #include "rt/universal_rt.h"
 #include "sim/harness.h"
 #include "sim/memory.h"
@@ -205,6 +206,35 @@ TEST(RtAllocSteadyState, HiSet) {
               (void)set.lookup(v);
               (void)set.remove(v);
             }));
+}
+
+TEST(RtAllocSteadyState, ShardedHiSet) {
+  // The sharded facade forwards the shard's single coroutine frame — no
+  // wrapper frame, no per-op routing state — so a large multi-word store
+  // keeps the same zero-allocation contract as the one-word set. 1M keys
+  // over 16 striped shards: every op crosses the facade into a multi-word
+  // shard (62500 bins = 977 words each).
+  rt::RtShardedHiSet store(1'000'000, 16, algo::ShardPlacement::kStriped);
+  EXPECT_EQ(0u, steady_state_allocs([&](int i) {
+              const auto v =
+                  static_cast<std::uint32_t>(i * 7919 % 1'000'000) + 1;
+              (void)store.insert(v);
+              (void)store.lookup(v);
+              (void)store.remove(v);
+            }));
+
+  // The audit path is allocation-free once the caller's vector has
+  // capacity: per-shard word scans are Sub frames recycled by the arena.
+  rt::RtShardedHiSet audit_store(4096, 4, algo::ShardPlacement::kBlocked);
+  for (std::uint32_t k = 1; k <= 4096; k += 3) audit_store.insert(k);
+  std::vector<std::uint32_t> members;
+  members.reserve(4096);
+  EXPECT_EQ(0u, steady_state_allocs(
+                    [&](int) {
+                      members.clear();
+                      (void)audit_store.snapshot_members(members);
+                    },
+                    /*warmup=*/8, /*ops=*/64));
 }
 
 TEST(RtAllocSteadyState, Rllsc) {

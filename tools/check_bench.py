@@ -25,6 +25,10 @@ Three responsibilities (docs/PERF.md "How CI consumes the artifacts"):
 
 3. REPORT ONLY — per-row deltas (ops/sec and bytes_per_object) for trend
    reading in the log.
+
+The sharded suite additionally carries structural bounds (footprint vs the
+domain/8 bitmap floor, shard-count throughput scaling on multi-core hosts)
+— see check_sharded_suite below and docs/PERF.md "Reading the sharded rows".
 """
 
 import argparse
@@ -33,7 +37,8 @@ import json
 import os
 import sys
 
-DEFAULT_SUITES = ["registers", "rllsc", "universal", "max_register", "hi_set"]
+DEFAULT_SUITES = ["registers", "rllsc", "universal", "max_register", "hi_set",
+                  "sharded"]
 
 REQUIRED_ROW_KEYS = ("name", "threads", "ops_per_sec", "p50_ns", "p99_ns",
                      "allocs_per_op", "bytes_per_object")
@@ -74,6 +79,83 @@ def check_alloc_gate(doc):
         if not isinstance(allocs, (int, float)) or allocs != 0:
             bad.append(row)
     return bad
+
+
+def parse_sharded_row(name):
+    """Splits a sharded-suite row name "<mix>/<n>M/s<shards>" into
+    (domain, shards), or returns None for rows that do not follow the
+    contract (bench/bench_sharded.cpp emits only conforming names)."""
+    parts = name.split("/")
+    if len(parts) != 3 or not parts[1].endswith("M"):
+        return None
+    if not parts[2].startswith("s"):
+        return None
+    try:
+        domain = int(parts[1][:-1]) * 1_000_000
+        shards = int(parts[2][1:])
+    except ValueError:
+        return None
+    return domain, shards
+
+
+def check_sharded_suite(doc):
+    """Sharded-store acceptance bounds (docs/PERF.md "Reading the sharded
+    rows"):
+
+    * bytes_per_object ≤ 2 × domain/8 on EVERY row — the packed multi-word
+      store must stay within 2× of the information-theoretic bitmap floor
+      (the slack covers per-shard tail-word rounding). Hard failure.
+
+    * ops/sec must scale 1 → 16 shards — monotonically non-decreasing
+      across the s1/s4/s16 points of each striped mix, with s16 ≥ 2 × s1.
+      This is an inter-core contention bound: it only MEANS anything when
+      the recording host could run the bench threads on distinct cores, so
+      it is enforced only when meta.host_cores ≥ the row's thread count
+      (single-core containers time-slice the threads and the sweep is
+      noise; the checker reports the skip instead of failing).
+    """
+    failures = []
+    skips = []
+    sweeps = {}
+    for row in doc.get("results", []):
+        parsed = parse_sharded_row(row.get("name", ""))
+        if parsed is None:
+            failures.append(
+                f"row {row.get('name')!r} does not match the "
+                "\"<mix>/<n>M/s<shards>\" naming contract")
+            continue
+        domain, shards = parsed
+        bound = 2 * domain // 8
+        if row.get("bytes_per_object", 0) > bound:
+            failures.append(
+                f"{row['name']}: bytes_per_object={row['bytes_per_object']} "
+                f"exceeds 2x the domain/8 floor ({bound})")
+        mix = row["name"].split("/")[0]
+        if mix == "mixed":  # striped sweeps carry the scaling contract
+            sweeps.setdefault((mix, domain), {})[shards] = row
+    host_cores = doc.get("meta", {}).get("host_cores", 0)
+    for (mix, domain), rows in sorted(sweeps.items()):
+        points = [rows.get(s) for s in (1, 4, 16)]
+        if any(p is None for p in points):
+            continue  # partial sweep: nothing to compare
+        threads = max(p.get("threads", 1) for p in points)
+        if host_cores < threads:
+            skips.append(
+                f"{mix}/{domain // 1_000_000}M: host_cores={host_cores} < "
+                f"threads={threads} — shard-scaling bound not applicable "
+                "(no inter-core contention to eliminate)")
+            continue
+        rates = [p["ops_per_sec"] for p in points]
+        if not (rates[0] <= rates[1] <= rates[2]):
+            failures.append(
+                f"{mix}/{domain // 1_000_000}M: ops/sec not monotone over "
+                f"s1/s4/s16: {rates[0]:.0f} / {rates[1]:.0f} / "
+                f"{rates[2]:.0f}")
+        if rates[2] < 2 * rates[0]:
+            failures.append(
+                f"{mix}/{domain // 1_000_000}M: s16 must be >= 2x s1 "
+                f"({rates[2]:.0f} vs {rates[0]:.0f} ops/s)")
+    return failures, skips
 
 
 def report_throughput(suite, fresh, baseline, warn_threshold, warnings):
@@ -141,6 +223,11 @@ def main():
                 f"{row.get('threads')}) reports allocs_per_op="
                 f"{row.get('allocs_per_op')!r}; steady state must be 0 — "
                 "a coroutine frame escaped the arena or the probe is off")
+        if suite == "sharded":
+            sharded_failures, sharded_skips = check_sharded_suite(fresh)
+            failures.extend(f"sharded: {f}" for f in sharded_failures)
+            for skip in sharded_skips:
+                print(f"  [sharded] skipped: {skip}")
 
         baseline = None
         if args.baseline:
