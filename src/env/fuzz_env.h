@@ -1,0 +1,255 @@
+// FuzzEnv: RtEnv with seeded schedule perturbation at every Env primitive
+// boundary — the real-thread forced-yield fuzzing backend.
+//
+// ReplayEnv re-executes recorded sim interleavings over hardware atomics,
+// but it is single-threaded by construction: cross-thread timing effects
+// the step model cannot express (store buffering visible through the
+// compiled code, preemption inside an algorithm's read-compute-write
+// window, cache-line ping-pong reordering) are never exercised. FuzzEnv
+// closes that gap from the other side: real threads run the SAME
+// single-source algorithm bodies, and a per-thread seeded injector forces a
+// scheduling perturbation — std::this_thread::yield() bursts or spin
+// backoff — around each shared-memory primitive. On the small core counts
+// CI offers, a yield at a primitive boundary is precisely what hands the
+// OS-level scheduler a chance to interleave another thread into the window
+// the simulator would explore as a step boundary, so seed sweeps reach
+// interleavings plain stress loops rarely hit (tests/test_fuzz_rt.cpp
+// demonstrates this with a positive-control broken object).
+//
+// Design: every FuzzEnv primitive delegates to the corresponding RtEnv
+// primitive — same cell types, same atomic bodies, same eager frame-arena
+// Op/Sub tasks — and wraps the returned always-ready awaiter so that
+// YieldInjector::point() runs immediately before and after the atomic
+// access. Algorithms instantiate unchanged; the injector is thread_local
+// and costs one predictable branch when disarmed, so a disarmed FuzzEnv
+// behaves exactly like RtEnv (modulo that branch).
+//
+// The injector is DETERMINISTIC per (seed, thread): the decision stream
+// comes from util::Xoshiro256, so a failing (seed, workload) pair is
+// re-runnable — though on real threads a replay is best-effort, which is
+// why harnesses reproduce failures in the step model and persist them as
+// ScheduleTrace literals instead (docs/TESTING.md).
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "env/rt_env.h"
+#include "util/rng.h"
+
+namespace hi::env {
+
+/// How aggressively the injector perturbs each primitive boundary.
+struct YieldPolicy {
+  std::uint32_t permille = 300;   // perturbation probability per point, ‰
+  std::uint32_t max_yields = 3;   // yield() burst length, 1..max
+  std::uint32_t max_spins = 48;   // spin backoff length, 1..max
+};
+
+/// Per-thread seeded perturbation source. Harness threads arm() it with a
+/// per-(iteration, thread) seed before driving operations and disarm() it
+/// after; FuzzEnv primitives call point() unconditionally.
+class YieldInjector {
+ public:
+  static void arm(std::uint64_t seed, YieldPolicy policy = {}) {
+    State& s = state();
+    s.rng = util::Xoshiro256(seed);
+    s.policy = policy;
+    s.armed = true;
+    s.points = 0;
+    s.injected = 0;
+  }
+
+  static void disarm() { state().armed = false; }
+
+  /// Primitive boundaries seen since arm() on this thread.
+  static std::uint64_t points() { return state().points; }
+  /// Perturbations (yield bursts + spin backoffs) actually injected.
+  static std::uint64_t injected() { return state().injected; }
+
+  /// One perturbation point. Called by every FuzzEnv primitive immediately
+  /// before and after its atomic access.
+  static void point() {
+    State& s = state();
+    if (!s.armed) return;
+    ++s.points;
+    if (s.rng.next_below(1000) >= s.policy.permille) return;
+    ++s.injected;
+    if (s.rng.chance(1, 2)) {
+      const std::uint64_t bursts = 1 + s.rng.next_below(s.policy.max_yields);
+      for (std::uint64_t i = 0; i < bursts; ++i) std::this_thread::yield();
+    } else {
+      const std::uint64_t spins = 1 + s.rng.next_below(s.policy.max_spins);
+      for (std::uint64_t i = 0; i < spins; ++i) {
+        // Empty asm keeps the busy-wait from being optimized away without
+        // the deprecated `volatile` induction variable.
+        asm volatile("");
+      }
+    }
+  }
+
+ private:
+  struct State {
+    util::Xoshiro256 rng{1};
+    YieldPolicy policy;
+    bool armed = false;
+    std::uint64_t points = 0;
+    std::uint64_t injected = 0;
+  };
+
+  static State& state() {
+    static thread_local State s;
+    return s;
+  }
+};
+
+/// RtEnv with YieldInjector::point() fencing every primitive. Same Ctx,
+/// cell types, and task types as RtEnv, so any algo-layer body instantiates
+/// over FuzzEnv unchanged and interoperates with RtEnv storage helpers.
+struct FuzzEnv {
+ private:
+  /// Wraps an RtEnv always-ready awaiter so the injector runs immediately
+  /// before and after the atomic access (delay the access / delay the next
+  /// local step — together they cover both sides of every inter-primitive
+  /// window, including the invoke and response edges). Defined before the
+  /// primitives: the auto return type must be deduced at their point of use.
+  template <typename Inner>
+  static auto fenced(Inner inner) {
+    return detail::Ready{[inner = std::move(inner)]() mutable {
+      YieldInjector::point();
+      auto result = inner.await_resume();
+      YieldInjector::point();
+      return result;
+    }};
+  }
+
+ public:
+  using Ctx = RtEnv::Ctx;
+
+  template <typename T>
+  using Op = RtEnv::Op<T>;
+  template <typename T>
+  using Sub = RtEnv::Sub<T>;
+
+  using BinArray = RtEnv::BinArray;
+  using PackedBinArray = RtEnv::PackedBinArray;
+  using Value = RtEnv::Value;
+  using Word = RtEnv::Word;
+  using CasCell = RtEnv::CasCell;
+  using WordArray = RtEnv::WordArray;
+
+  // ---- factories and observer-side peeks: no shared-memory step, no
+  // perturbation — delegate verbatim ----
+
+  static BinArray make_bin_array(Ctx ctx, const char* prefix,
+                                 std::uint32_t count, std::uint32_t one_index) {
+    return RtEnv::make_bin_array(ctx, prefix, count, one_index);
+  }
+  static BinArray make_bin_array_words(Ctx ctx, const char* prefix,
+                                       std::uint32_t count,
+                                       std::span<const std::uint64_t> words) {
+    return RtEnv::make_bin_array_words(ctx, prefix, count, words);
+  }
+  static BinArray make_bin_array_bits(Ctx ctx, const char* prefix,
+                                      std::uint32_t count, std::uint64_t bits) {
+    return RtEnv::make_bin_array_bits(ctx, prefix, count, bits);
+  }
+  static std::uint8_t peek_bit(const BinArray& array, std::uint32_t index) {
+    return RtEnv::peek_bit(array, index);
+  }
+  static std::size_t bin_storage_bytes(const BinArray& array) {
+    return RtEnv::bin_storage_bytes(array);
+  }
+
+  static PackedBinArray make_packed_bin_array(Ctx ctx, const char* prefix,
+                                              std::uint32_t count,
+                                              std::uint32_t one_index) {
+    return RtEnv::make_packed_bin_array(ctx, prefix, count, one_index);
+  }
+  static PackedBinArray make_packed_bin_array_words(
+      Ctx ctx, const char* prefix, std::uint32_t count,
+      std::span<const std::uint64_t> words) {
+    return RtEnv::make_packed_bin_array_words(ctx, prefix, count, words);
+  }
+  static PackedBinArray make_packed_bin_array_bits(Ctx ctx, const char* prefix,
+                                                   std::uint32_t count,
+                                                   std::uint64_t bits) {
+    return RtEnv::make_packed_bin_array_bits(ctx, prefix, count, bits);
+  }
+  static std::uint32_t packed_bins(const PackedBinArray& array) {
+    return RtEnv::packed_bins(array);
+  }
+  static std::uint32_t packed_words(const PackedBinArray& array) {
+    return RtEnv::packed_words(array);
+  }
+  static std::uint64_t peek_packed_word(const PackedBinArray& array,
+                                        std::uint32_t w) {
+    return RtEnv::peek_packed_word(array, w);
+  }
+  static std::size_t packed_storage_bytes(const PackedBinArray& array) {
+    return RtEnv::packed_storage_bytes(array);
+  }
+
+  static CasCell make_cas(Ctx ctx, const std::string& name, Value initial) {
+    return RtEnv::make_cas(ctx, name, initial);
+  }
+  static Word peek_cas(const CasCell& cell) { return RtEnv::peek_cas(cell); }
+  static bool cas_is_lock_free(const CasCell& cell) {
+    return RtEnv::cas_is_lock_free(cell);
+  }
+
+  static WordArray make_word_array(Ctx ctx, const char* prefix,
+                                   std::uint32_t count, std::uint64_t initial) {
+    return RtEnv::make_word_array(ctx, prefix, count, initial);
+  }
+  static std::uint64_t peek_word(const WordArray& array, std::uint32_t index) {
+    return RtEnv::peek_word(array, index);
+  }
+
+  // ---- primitives: RtEnv's atomic bodies fenced by perturbation points ----
+
+  static auto read_bit(BinArray& array, std::uint32_t index) {
+    return fenced(RtEnv::read_bit(array, index));
+  }
+  static auto write_bit(BinArray& array, std::uint32_t index,
+                        std::uint8_t value) {
+    return fenced(RtEnv::write_bit(array, index, value));
+  }
+
+  static auto load_packed_word(PackedBinArray& array, std::uint32_t w) {
+    return fenced(RtEnv::load_packed_word(array, w));
+  }
+  static auto or_packed_word(PackedBinArray& array, std::uint32_t w,
+                             std::uint64_t mask) {
+    return fenced(RtEnv::or_packed_word(array, w, mask));
+  }
+  static auto and_packed_word(PackedBinArray& array, std::uint32_t w,
+                              std::uint64_t mask) {
+    return fenced(RtEnv::and_packed_word(array, w, mask));
+  }
+
+  static auto cas_read(CasCell& cell) { return fenced(RtEnv::cas_read(cell)); }
+  static auto cas(CasCell& cell, const Word& expected, const Word& desired) {
+    return fenced(RtEnv::cas(cell, expected, desired));
+  }
+  static auto cas_write(CasCell& cell, const Word& desired) {
+    return fenced(RtEnv::cas_write(cell, desired));
+  }
+
+  static auto read_word(WordArray& array, std::uint32_t index) {
+    return fenced(RtEnv::read_word(array, index));
+  }
+  static auto write_word(WordArray& array, std::uint32_t index,
+                         std::uint64_t value) {
+    return fenced(RtEnv::write_word(array, index, value));
+  }
+  static auto cas_word(WordArray& array, std::uint32_t index,
+                       std::uint64_t expected, std::uint64_t desired) {
+    return fenced(RtEnv::cas_word(array, index, expected, desired));
+  }
+};
+
+static_assert(ExecutionEnv<FuzzEnv>);
+
+}  // namespace hi::env

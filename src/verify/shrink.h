@@ -1,0 +1,64 @@
+// Schedule shrinking: reduce a failing decision sequence to a small
+// counterexample before persisting it as a ScheduleTrace literal.
+//
+// The rt yield-fuzzer and the explorer both end a failure with a decision
+// sequence (sim::Decision path) whose execution violates a check. Raw
+// sequences carry every irrelevant step of every irrelevant operation;
+// regression literals should carry only the interleaving that matters.
+// shrink_schedule() is ddmin-flavoured greedy chunk removal: drop a window
+// of decisions, tolerantly re-execute (most candidates are simply invalid
+// schedules — a step whose operation was never invoked — and are rejected
+// by the executor, not special-cased here), and keep the candidate iff the
+// failure still reproduces. Windows halve from n/2 down to single
+// decisions; the loop restarts after any progress, so the result is
+// 1-minimal with respect to single-decision removal.
+//
+// The function is deliberately generic over the executor: the explorer's
+// Explorer::try_execute() (sim/explorer.h) is the intended one — it returns
+// the induced history, or nullopt for invalid sequences — but any
+// (candidate -> std::optional<artifact>) callable works, so adversary
+// harnesses with richer artifacts reuse the same reduction loop.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace hi::verify {
+
+/// Greedily remove decision windows from `failing` while the failure still
+/// reproduces. `try_execute(candidate)` -> std::optional<Artifact> (nullopt
+/// = invalid schedule); `still_fails(artifact)` -> bool. Returns a failing
+/// subsequence of the input (at worst the input itself; the input is
+/// assumed to fail and is never re-validated).
+template <typename Seq, typename TryExecute, typename StillFails>
+Seq shrink_schedule(Seq failing, TryExecute&& try_execute,
+                    StillFails&& still_fails) {
+  bool progress = true;
+  while (progress && failing.size() > 1) {
+    progress = false;
+    for (std::size_t window = failing.size() / 2; window >= 1; window /= 2) {
+      for (std::size_t at = 0; at + window <= failing.size();) {
+        Seq candidate;
+        candidate.reserve(failing.size() - window);
+        candidate.insert(candidate.end(), failing.begin(),
+                         failing.begin() + static_cast<std::ptrdiff_t>(at));
+        candidate.insert(
+            candidate.end(),
+            failing.begin() + static_cast<std::ptrdiff_t>(at + window),
+            failing.end());
+        auto artifact = try_execute(candidate);
+        if (artifact.has_value() && still_fails(*artifact)) {
+          failing = std::move(candidate);
+          progress = true;
+          // The window at `at` is new content now — retry in place.
+        } else {
+          ++at;
+        }
+      }
+      if (window == 1) break;
+    }
+  }
+  return failing;
+}
+
+}  // namespace hi::verify

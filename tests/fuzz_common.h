@@ -1,0 +1,287 @@
+// Shared fixtures for the real-thread yield-fuzzing suite
+// (test_fuzz_rt.cpp) and the DPOR explorer suite (test_explorer_dpor.cpp):
+//
+//  - NaiveCounterSpec + BrokenCounterAlg<Env>: the positive-control object.
+//    inc() is a deliberately non-atomic read-then-write over one shared
+//    word, so two concurrent incs can both return the same value — a
+//    linearizability violation the fuzzer must catch on real threads and
+//    the explorer must reproduce in the step model. Single-source over the
+//    Env abstraction like every real algorithm, so the SAME broken body
+//    runs under FuzzEnv (the rt catch) and SimEnv (the reproduce + shrink).
+//
+//  - RtHistoryRecorder: builds a verify::History from real-thread
+//    executions. Each operation is bracketed by fetch_adds on one global
+//    seq_cst clock; after the threads join, events are sorted by timestamp
+//    and replayed into History::invoke/respond. The clock ticks BEFORE the
+//    invocation's first primitive and AFTER the response's last primitive,
+//    so the recorded real-time precedence relation is a subset of the true
+//    one — any linearizability violation the checker reports on the
+//    recorded history is a genuine violation of the execution.
+//
+//  - run_fuzz_threads: barrier-released worker threads, each arming
+//    env::YieldInjector with a per-(seed, pid) stream so a failing
+//    iteration is identified by one seed.
+//
+//  - dump_failing_trace: persists a failing-trace artifact under
+//    $HI_TRACE_DUMP_DIR for the nightly soak workflow's artifact upload.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "env/fuzz_env.h"
+#include "env/sim_env.h"
+#include "sim/memory.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+#include "util/rng.h"
+#include "verify/history.h"
+
+namespace hi::testing {
+
+// ---------------------------------------------------------------------------
+// Positive control: a counter whose inc() has a lost-update window.
+// ---------------------------------------------------------------------------
+
+/// Sequential counter spec for the positive control: inc() returns the NEW
+/// value, read() returns the current value. Two concurrent incs that both
+/// return the same value are not linearizable under this spec, which is
+/// exactly the observable symptom of BrokenCounterAlg's race.
+struct NaiveCounterSpec {
+  enum class Kind : std::uint8_t { kInc, kRead };
+  struct Op {
+    Kind kind = Kind::kInc;
+  };
+  using State = std::uint32_t;
+  using Resp = std::uint32_t;
+
+  State initial_state() const { return 0; }
+
+  std::pair<State, Resp> apply(const State& state, const Op& op) const {
+    if (op.kind == Kind::kRead) return {state, state};
+    return {state + 1, state + 1};
+  }
+
+  bool is_read_only(const Op& op) const { return op.kind == Kind::kRead; }
+
+  std::uint64_t encode_state(const State& state) const { return state; }
+  State decode_state(std::uint64_t word) const {
+    return static_cast<State>(word);
+  }
+  std::uint32_t encode_op(const Op& op) const {
+    return op.kind == Kind::kRead ? 1u : 0u;
+  }
+  Op decode_op(std::uint32_t word) const {
+    return Op{word == 1u ? Kind::kRead : Kind::kInc};
+  }
+  std::uint32_t encode_resp(const Resp& resp) const { return resp; }
+  Resp decode_resp(std::uint32_t word) const { return word; }
+
+  static Op inc() { return Op{Kind::kInc}; }
+  static Op read() { return Op{Kind::kRead}; }
+};
+
+/// Deliberately broken counter: inc() reads the shared word, then writes
+/// value+1 as a SEPARATE primitive — the textbook lost-update window. Any
+/// schedule that interleaves two incs between each other's read and write
+/// makes both return the same value. Intentionally NOT fixed: it is the
+/// seeded bug the fuzzing/exploration pipeline must catch, reproduce, and
+/// shrink (acceptance criterion for the positive control).
+template <typename Env>
+class BrokenCounterAlg {
+ public:
+  template <typename T>
+  using OpT = typename Env::template Op<T>;
+
+  explicit BrokenCounterAlg(typename Env::Ctx ctx)
+      : words_(Env::make_word_array(ctx, "C", 1, 0)) {}
+
+  OpT<std::uint32_t> apply(int /*pid*/, NaiveCounterSpec::Op op) {
+    if (op.kind == NaiveCounterSpec::Kind::kRead) return read();
+    return inc();
+  }
+
+  OpT<std::uint32_t> inc() {
+    const std::uint64_t seen = co_await Env::read_word(words_, 0);
+    co_await Env::write_word(words_, 0, seen + 1);
+    co_return static_cast<std::uint32_t>(seen + 1);
+  }
+
+  OpT<std::uint32_t> read() {
+    const std::uint64_t seen = co_await Env::read_word(words_, 0);
+    co_return static_cast<std::uint32_t>(seen);
+  }
+
+ private:
+  typename Env::WordArray words_;
+};
+
+/// Explorer-compatible system wrapper for the broken counter's simulator
+/// instantiation — the step-model side of the catch → reproduce → shrink
+/// pipeline (and the DPOR suite's bug-preservation check).
+struct BrokenCounterSystem {
+  NaiveCounterSpec spec;
+  sim::Memory mem;
+  sim::Scheduler sched;
+  BrokenCounterAlg<env::SimEnv> impl;
+
+  explicit BrokenCounterSystem(int num_processes)
+      : sched(num_processes), impl(mem) {}
+  sim::Scheduler& scheduler() { return sched; }
+  sim::Memory& memory() { return mem; }
+  sim::OpTask<std::uint32_t> apply(int pid, NaiveCounterSpec::Op op) {
+    return impl.apply(pid, op);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Real-thread history recording.
+// ---------------------------------------------------------------------------
+
+/// Records per-thread operation intervals against one global seq_cst clock
+/// and rebuilds a verify::History after the threads join. Thread-safe for
+/// concurrent run() calls from distinct pids; build() only after joining.
+template <typename OpT, typename RespT>
+class RtHistoryRecorder {
+ public:
+  explicit RtHistoryRecorder(int num_threads) : records_(num_threads) {}
+
+  /// Runs `fn()` on the calling thread, bracketing it with clock ticks.
+  template <typename Fn>
+  RespT run(int pid, const OpT& op, Fn&& fn) {
+    const std::uint64_t invoked =
+        clock_.fetch_add(1, std::memory_order_seq_cst);
+    RespT resp = fn();
+    const std::uint64_t responded =
+        clock_.fetch_add(1, std::memory_order_seq_cst);
+    records_[static_cast<std::size_t>(pid)].push_back(
+        Record{op, std::move(resp), invoked, responded});
+    return records_[static_cast<std::size_t>(pid)].back().resp;
+  }
+
+  /// Timestamp-ordered history of everything recorded so far. The relative
+  /// order of invocations and responses follows the global clock, so the
+  /// checker sees exactly the real-time precedence the clock witnessed.
+  verify::History<OpT, RespT> build() const {
+    struct Event {
+      std::uint64_t time = 0;
+      int pid = 0;
+      std::size_t record = 0;
+      bool is_response = false;
+    };
+    std::vector<Event> events;
+    for (std::size_t pid = 0; pid < records_.size(); ++pid) {
+      for (std::size_t i = 0; i < records_[pid].size(); ++i) {
+        const Record& r = records_[pid][i];
+        events.push_back(Event{r.invoked, static_cast<int>(pid), i, false});
+        events.push_back(Event{r.responded, static_cast<int>(pid), i, true});
+      }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.time < b.time; });
+
+    verify::History<OpT, RespT> history;
+    std::vector<std::vector<std::size_t>> index(records_.size());
+    for (std::size_t pid = 0; pid < records_.size(); ++pid) {
+      index[pid].resize(records_[pid].size());
+    }
+    for (const Event& e : events) {
+      const Record& r = records_[static_cast<std::size_t>(e.pid)][e.record];
+      if (!e.is_response) {
+        index[static_cast<std::size_t>(e.pid)][e.record] =
+            history.invoke(e.pid, r.op);
+      } else {
+        history.respond(index[static_cast<std::size_t>(e.pid)][e.record],
+                        r.resp);
+      }
+    }
+    return history;
+  }
+
+  std::size_t total_ops() const {
+    std::size_t count = 0;
+    for (const auto& per_pid : records_) count += per_pid.size();
+    return count;
+  }
+
+ private:
+  struct Record {
+    OpT op{};
+    RespT resp{};
+    std::uint64_t invoked = 0;
+    std::uint64_t responded = 0;
+  };
+
+  std::atomic<std::uint64_t> clock_{0};
+  std::vector<std::vector<Record>> records_;
+};
+
+// ---------------------------------------------------------------------------
+// Thread driving.
+// ---------------------------------------------------------------------------
+
+/// Runs `body(pid)` on `num_threads` real threads. Each worker arms the
+/// yield injector with a stream derived from (seed, pid), waits at a
+/// barrier so all workers enter their workload together (maximizing the
+/// overlap window), runs the body, and disarms.
+template <typename Body>
+void run_fuzz_threads(int num_threads, std::uint64_t seed,
+                      env::YieldPolicy policy, Body&& body) {
+  std::barrier gate(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(num_threads));
+  for (int pid = 0; pid < num_threads; ++pid) {
+    workers.emplace_back([&, pid] {
+      env::YieldInjector::arm(
+          util::hash_combine(seed, static_cast<std::uint64_t>(pid) + 1),
+          policy);
+      gate.arrive_and_wait();
+      body(pid);
+      env::YieldInjector::disarm();
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+// ---------------------------------------------------------------------------
+// Env knobs and artifact dumping.
+// ---------------------------------------------------------------------------
+
+/// Integer env-var knob with a fallback (non-positive or unset → fallback).
+inline int env_int_knob(const char* name, int fallback) {
+  if (const char* raw = std::getenv(name)) {
+    const int value = std::atoi(raw);
+    if (value > 0) return value;
+  }
+  return fallback;
+}
+
+/// Iterations per object for the rt yield-fuzzer: HI_RT_FUZZ_ITERS
+/// (default = the CI smoke budget; the nightly soak raises it).
+inline int rt_fuzz_iters(int fallback) {
+  return env_int_knob("HI_RT_FUZZ_ITERS", fallback);
+}
+
+/// Persists `text` as $HI_TRACE_DUMP_DIR/<name>.txt so a scheduled CI run
+/// can upload failing traces as artifacts. No-op when the var is unset
+/// (local runs print the trace to the test log instead).
+inline void dump_failing_trace(const std::string& name,
+                               const std::string& text) {
+  const char* dir = std::getenv("HI_TRACE_DUMP_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ofstream out(std::filesystem::path(dir) / (name + ".txt"));
+  out << text;
+}
+
+}  // namespace hi::testing

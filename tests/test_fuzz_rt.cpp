@@ -1,0 +1,606 @@
+// Real-thread forced-yield schedule fuzzing (env/fuzz_env.h): every rt
+// object plus the sharded store runs its FuzzEnv instantiation on real
+// threads under seeded yield/backoff injection at each Env primitive
+// boundary, with linearizability checked on the recorded history and — for
+// the history-independent objects — the quiescent memory image compared
+// against a solo replay of the linearization witness (HI: the final image
+// must be a function of the abstract state alone, so the witness replay
+// must land on the SAME image).
+//
+// Witness pinning: overlapping state-changing operations can admit several
+// valid linearizations with DIFFERENT final abstract states (insert(v) ‖
+// remove(v) both orders), and the checker returns an arbitrary one — so each
+// suite runs a solo AUDIT phase after the threads join (final reads /
+// full-domain lookups, recorded into the same history). Audit operations
+// follow everything in real time, so every valid linearization of the
+// extended history must end in the audited state: the witness's final state
+// is then exactly the state the object actually reached, and the image
+// comparison is sound.
+//
+// The pipeline's positive control is the deliberately broken counter
+// (tests/fuzz_common.h): the fuzzer must CATCH its lost update on real
+// threads within the default iteration budget, the explorer must REPRODUCE
+// it in the step model, verify/shrink.h must SHRINK the failing schedule,
+// and the result is printed as a paste-ready ScheduleTrace literal (and
+// persisted under $HI_TRACE_DUMP_DIR for the nightly soak's artifacts).
+//
+// Iteration budget: HI_RT_FUZZ_ITERS (default 20 per object — the CI smoke
+// bound; the nightly workflow raises it). Every failure message carries the
+// iteration's seed, which fully determines the op scripts and the per-thread
+// injection streams.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "algo/hi_set.h"
+#include "algo/leaky_universal.h"
+#include "algo/max_register.h"
+#include "algo/registers.h"
+#include "algo/rllsc.h"
+#include "algo/sharded_set.h"
+#include "algo/universal.h"
+#include "env/fuzz_env.h"
+#include "fuzz_common.h"
+#include "sim/explorer.h"
+#include "sim/trace.h"
+#include "spec/counter_spec.h"
+#include "spec/max_register_spec.h"
+#include "spec/register_spec.h"
+#include "spec/rllsc_spec.h"
+#include "spec/set_spec.h"
+#include "util/rng.h"
+#include "verify/linearizability.h"
+#include "verify/shrink.h"
+
+namespace hi {
+namespace {
+
+using env::FuzzEnv;
+using FuzzPacked = env::PackedBins<FuzzEnv>;
+
+constexpr int kDefaultIters = 20;
+
+/// One object family under the fuzzer: `iters` iterations, each with a
+/// fresh object, per-(seed, pid) deterministic op scripts, barrier-released
+/// armed threads, a solo audit phase pinning the final abstract state (see
+/// file comment), then a linearizability check over the extended history
+/// and a caller-supplied final check (witness replay, invariants).
+template <typename S, typename ScriptGen, typename MakeObject, typename RunOp,
+          typename Audit, typename FinalCheck>
+void fuzz_object_suite(const char* name, const S& spec, int num_threads,
+                       std::uint64_t seed0, ScriptGen&& script_gen,
+                       MakeObject&& make_object, RunOp&& run_op, Audit&& audit,
+                       FinalCheck&& final_check) {
+  using Op = typename S::Op;
+  using Resp = typename S::Resp;
+  const int iters = testing::rt_fuzz_iters(kDefaultIters);
+  for (int iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed =
+        util::hash_combine(seed0, static_cast<std::uint64_t>(iter));
+    auto object = make_object();
+    std::vector<std::vector<Op>> scripts(
+        static_cast<std::size_t>(num_threads));
+    for (int pid = 0; pid < num_threads; ++pid) {
+      util::Xoshiro256 rng(
+          util::hash_combine(seed, 0x5c21 + static_cast<std::uint64_t>(pid)));
+      scripts[static_cast<std::size_t>(pid)] = script_gen(pid, rng);
+    }
+    testing::RtHistoryRecorder<Op, Resp> recorder(num_threads);
+    testing::run_fuzz_threads(num_threads, seed, env::YieldPolicy{},
+                              [&](int pid) {
+                                for (const Op& op :
+                                     scripts[static_cast<std::size_t>(pid)]) {
+                                  recorder.run(pid, op, [&] {
+                                    return run_op(*object, pid, op);
+                                  });
+                                }
+                              });
+    // Injector disarmed on this thread: the audit runs solo and unperturbed.
+    audit(*object, recorder);
+    const auto history = recorder.build();
+    ASSERT_EQ(history.num_pending(), 0u);
+    const verify::LinResult lin = verify::check_linearizable(spec, history);
+    ASSERT_TRUE(lin.ok())
+        << name << ": non-linearizable real-thread history at seed " << seed;
+    final_check(*object, history, lin.witness, seed);
+  }
+}
+
+/// The abstract state a linearization witness ends in (spec fold).
+template <typename S, typename Hist>
+typename S::State witness_final_state(const S& spec, const Hist& hist,
+                                      const std::vector<std::size_t>& witness) {
+  typename S::State state = spec.initial_state();
+  for (const std::size_t idx : witness) {
+    state = spec.apply(state, hist.entries()[idx].op).first;
+  }
+  return state;
+}
+
+template <typename Alg>
+std::vector<std::uint8_t> image_of(Alg& alg) {
+  std::vector<std::uint8_t> image;
+  alg.encode_memory(image);
+  return image;
+}
+
+// --------------------------------------------------------- positive control
+
+TEST(FuzzRt, PositiveControl_BrokenCounterCaughtReproducedShrunk) {
+  const testing::NaiveCounterSpec spec;
+
+  // 1. CATCH on real threads: two threads race two incs each; the injector
+  // yields inside the read-then-write window, so the lost update surfaces
+  // well within the default budget. Aggressive policy: the control should
+  // fire fast even on a loaded single-core CI runner.
+  const env::YieldPolicy aggressive{/*permille=*/700, /*max_yields=*/4,
+                                    /*max_spins=*/64};
+  const int iters = testing::rt_fuzz_iters(kDefaultIters) + 30;
+  std::optional<std::uint64_t> caught_seed;
+  for (int iter = 0; iter < iters && !caught_seed.has_value(); ++iter) {
+    const std::uint64_t seed =
+        util::hash_combine(0xb20c, static_cast<std::uint64_t>(iter));
+    testing::BrokenCounterAlg<FuzzEnv> counter{FuzzEnv::Ctx{}};
+    testing::RtHistoryRecorder<testing::NaiveCounterSpec::Op,
+                               testing::NaiveCounterSpec::Resp>
+        recorder(2);
+    testing::run_fuzz_threads(2, seed, aggressive, [&](int pid) {
+      for (int i = 0; i < 6; ++i) {
+        recorder.run(pid, testing::NaiveCounterSpec::inc(),
+                     [&] { return counter.inc().get(); });
+      }
+    });
+    if (!verify::check_linearizable(spec, recorder.build()).ok()) {
+      caught_seed = seed;
+    }
+  }
+  EXPECT_TRUE(caught_seed.has_value())
+      << "the yield fuzzer failed to catch the seeded lost update in "
+      << iters << " iterations — the positive control is broken";
+
+  // 2. REPRODUCE in the step model: the same single-source body under
+  // SimEnv, exhaustively explored until a non-linearizable complete
+  // execution appears.
+  sim::Explorer<testing::NaiveCounterSpec, testing::BrokenCounterSystem>
+      explorer(
+          spec,
+          [] { return std::make_unique<testing::BrokenCounterSystem>(2); },
+          {{testing::NaiveCounterSpec::inc(), testing::NaiveCounterSpec::inc()},
+           {testing::NaiveCounterSpec::inc(),
+            testing::NaiveCounterSpec::inc()}});
+  std::optional<std::vector<sim::Decision>> failing;
+  (void)explorer.explore(
+      {.max_depth = 32, .max_executions = 100'000}, nullptr,
+      [&](testing::BrokenCounterSystem&, const auto& hist) {
+        if (!failing.has_value() &&
+            !verify::check_linearizable(spec, hist).ok()) {
+          failing = explorer.current_prefix();
+        }
+      });
+  ASSERT_TRUE(failing.has_value())
+      << "the step model cannot reproduce the lost update";
+
+  // 3. SHRINK: greedy window removal over try_execute; the failure must
+  // survive (complete history, still non-linearizable).
+  const auto still_fails = [&](const auto& hist) {
+    return hist.num_pending() == 0 &&
+           !verify::check_linearizable(spec, hist).ok();
+  };
+  const std::vector<sim::Decision> shrunk = verify::shrink_schedule(
+      *failing,
+      [&](const std::vector<sim::Decision>& candidate) {
+        return explorer.try_execute(candidate);
+      },
+      still_fails);
+  EXPECT_LT(shrunk.size(), failing->size())
+      << "shrinking removed nothing from a 12-decision schedule whose "
+         "minimal counterexample is 6 decisions";
+  const auto shrunk_hist = explorer.try_execute(shrunk);
+  ASSERT_TRUE(shrunk_hist.has_value());
+  EXPECT_TRUE(still_fails(*shrunk_hist));
+
+  // 4. PERSIST: the paste-ready ScheduleTrace literal (sim/trace.h).
+  const sim::ScheduleTrace trace = explorer.trace_of(shrunk);
+  const std::string literal = trace.pretty();
+  std::cout << "shrunk broken-counter ScheduleTrace ("
+            << (caught_seed ? *caught_seed : 0) << " caught it on threads):\n"
+            << literal << std::endl;
+  EXPECT_FALSE(literal.empty());
+  testing::dump_failing_trace("broken_counter_shrunk", literal);
+}
+
+// --------------------------------------------------------- SWSR registers
+
+std::vector<spec::RegisterSpec::Op> writer_script(std::uint32_t k, int ops,
+                                                  util::Xoshiro256& rng) {
+  std::vector<spec::RegisterSpec::Op> script;
+  for (int i = 0; i < ops; ++i) {
+    script.push_back(spec::RegisterSpec::write(
+        static_cast<std::uint32_t>(rng.next_in(1, k))));
+  }
+  return script;
+}
+
+TEST(FuzzRt, VidyasankarRegister_Linearizable) {
+  // Algorithm 1: linearizable but NOT HI — history check only.
+  const std::uint32_t k = 6;
+  const spec::RegisterSpec spec(k, 1);
+  using Alg = algo::VidyasankarAlg<FuzzEnv, FuzzPacked>;
+  fuzz_object_suite(
+      "vidyasankar", spec, 2, 0xa101,
+      [&](int pid, util::Xoshiro256& rng) {
+        if (pid == 0) return writer_script(k, 5, rng);
+        return std::vector<spec::RegisterSpec::Op>(4,
+                                                   spec::RegisterSpec::read());
+      },
+      [&] { return std::make_unique<Alg>(FuzzEnv::Ctx{}, k, 1); },
+      [](Alg& reg, int, const spec::RegisterSpec::Op& op) -> std::uint32_t {
+        if (op.kind == spec::RegisterSpec::Kind::kWrite) {
+          (void)reg.write(op.value).get();
+          return 0;  // the spec's Write response
+        }
+        return reg.read().get();
+      },
+      [](Alg&, auto&) {},  // no final check, so nothing to pin
+      [](Alg&, const auto&, const auto&, std::uint64_t) {});
+}
+
+TEST(FuzzRt, LockFreeHiRegister_LinearizableAndQuiescentCanonical) {
+  const std::uint32_t k = 6;
+  const spec::RegisterSpec spec(k, 1);
+  using Alg = algo::LockFreeHiAlg<FuzzEnv, FuzzPacked>;
+  fuzz_object_suite(
+      "lockfree-register", spec, 2, 0xa102,
+      [&](int pid, util::Xoshiro256& rng) {
+        if (pid == 0) return writer_script(k, 5, rng);
+        return std::vector<spec::RegisterSpec::Op>(4,
+                                                   spec::RegisterSpec::read());
+      },
+      [&] { return std::make_unique<Alg>(FuzzEnv::Ctx{}, k, 1); },
+      [](Alg& reg, int, const spec::RegisterSpec::Op& op) -> std::uint32_t {
+        if (op.kind == spec::RegisterSpec::Kind::kWrite) {
+          (void)reg.write(op.value).get();
+          return 0;
+        }
+        // Packed K ≤ 64: a TryRead is a full-array word snapshot, so it
+        // always succeeds — the bound never binds.
+        return reg.read_bounded(1'000'000).get().value();
+      },
+      [](Alg& reg, auto& recorder) {
+        recorder.run(1, spec::RegisterSpec::read(), [&] {
+          return reg.read_bounded(1'000'000).get().value();
+        });
+      },
+      [&](Alg& reg, const auto& hist, const std::vector<std::size_t>& witness,
+          std::uint64_t seed) {
+        Alg replayed(FuzzEnv::Ctx{}, k, 1);
+        for (const std::size_t idx : witness) {
+          const auto& e = hist.entries()[idx];
+          if (e.op.kind == spec::RegisterSpec::Kind::kWrite) {
+            (void)replayed.write(e.op.value).get();
+          } else {
+            (void)replayed.read_bounded(1).get();
+          }
+        }
+        EXPECT_EQ(image_of(reg), image_of(replayed))
+            << "state-quiescent HI image diverges from witness replay at seed "
+            << seed;
+      });
+}
+
+TEST(FuzzRt, WaitFreeHiRegister_LinearizableAndQuiescentCanonical) {
+  const std::uint32_t k = 6;
+  const spec::RegisterSpec spec(k, 1);
+  using Alg = algo::WaitFreeHiAlg<FuzzEnv, FuzzPacked>;
+  fuzz_object_suite(
+      "waitfree-register", spec, 2, 0xa103,
+      [&](int pid, util::Xoshiro256& rng) {
+        if (pid == 0) return writer_script(k, 5, rng);
+        return std::vector<spec::RegisterSpec::Op>(4,
+                                                   spec::RegisterSpec::read());
+      },
+      [&] { return std::make_unique<Alg>(FuzzEnv::Ctx{}, k, 1); },
+      [](Alg& reg, int, const spec::RegisterSpec::Op& op) -> std::uint32_t {
+        if (op.kind == spec::RegisterSpec::Kind::kWrite) {
+          (void)reg.write(op.value).get();
+          return 0;
+        }
+        return reg.read().get();
+      },
+      [](Alg& reg, auto& recorder) {
+        recorder.run(1, spec::RegisterSpec::read(),
+                     [&] { return reg.read().get(); });
+      },
+      [&](Alg& reg, const auto& hist, const std::vector<std::size_t>& witness,
+          std::uint64_t seed) {
+        Alg replayed(FuzzEnv::Ctx{}, k, 1);
+        for (const std::size_t idx : witness) {
+          const auto& e = hist.entries()[idx];
+          if (e.op.kind == spec::RegisterSpec::Kind::kWrite) {
+            (void)replayed.write(e.op.value).get();
+          } else {
+            (void)replayed.read().get();
+          }
+        }
+        EXPECT_EQ(image_of(reg), image_of(replayed))
+            << "quiescent HI image diverges from witness replay at seed "
+            << seed;
+      });
+}
+
+TEST(FuzzRt, MaxRegister_LinearizableAndQuiescentCanonical) {
+  const std::uint32_t k = 6;
+  const spec::MaxRegisterSpec spec(k, 1);
+  using Alg = algo::HiMaxRegisterAlg<FuzzEnv, FuzzPacked>;
+  const auto make = [&] {
+    return std::make_unique<Alg>(FuzzEnv::Ctx{}, k, 1, /*writer_pid=*/0,
+                                 /*reader_pid=*/1);
+  };
+  fuzz_object_suite(
+      "max-register", spec, 2, 0xa104,
+      [&](int pid, util::Xoshiro256& rng) {
+        std::vector<spec::MaxRegisterSpec::Op> script;
+        for (int i = 0; i < (pid == 0 ? 5 : 4); ++i) {
+          script.push_back(pid == 0
+                               ? spec::MaxRegisterSpec::write_max(
+                                     static_cast<std::uint32_t>(
+                                         rng.next_in(1, k)))
+                               : spec::MaxRegisterSpec::read_max());
+        }
+        return script;
+      },
+      make,
+      [](Alg& reg, int pid, const spec::MaxRegisterSpec::Op& op)
+          -> std::uint32_t {
+        if (op.kind == spec::MaxRegisterSpec::Kind::kWriteMax) {
+          (void)reg.write_max(pid, op.value).get();
+          return 0;
+        }
+        return reg.read_max(pid).get();
+      },
+      [](Alg& reg, auto& recorder) {
+        recorder.run(1, spec::MaxRegisterSpec::read_max(),
+                     [&] { return reg.read_max(1).get(); });
+      },
+      [&](Alg& reg, const auto& hist, const std::vector<std::size_t>& witness,
+          std::uint64_t seed) {
+        auto replayed = make();
+        for (const std::size_t idx : witness) {
+          const auto& e = hist.entries()[idx];
+          if (e.op.kind == spec::MaxRegisterSpec::Kind::kWriteMax) {
+            (void)replayed->write_max(0, e.op.value).get();
+          } else {
+            (void)replayed->read_max(1).get();
+          }
+        }
+        EXPECT_EQ(image_of(reg), image_of(*replayed))
+            << "max-register HI image diverges from witness replay at seed "
+            << seed;
+      });
+}
+
+// ------------------------------------------------------------- MRMW sets
+
+std::vector<spec::SetSpec::Op> set_script(std::uint32_t domain, int ops,
+                                          util::Xoshiro256& rng) {
+  std::vector<spec::SetSpec::Op> script;
+  for (int i = 0; i < ops; ++i) {
+    const auto v = static_cast<std::uint32_t>(rng.next_in(1, domain));
+    switch (rng.next_below(3)) {
+      case 0: script.push_back(spec::SetSpec::insert(v)); break;
+      case 1: script.push_back(spec::SetSpec::remove(v)); break;
+      default: script.push_back(spec::SetSpec::lookup(v)); break;
+    }
+  }
+  return script;
+}
+
+bool run_set_op(auto& set, const spec::SetSpec::Op& op) {
+  switch (op.kind) {
+    case spec::SetSpec::Kind::kInsert: return set.insert(op.value).get();
+    case spec::SetSpec::Kind::kRemove: return set.remove(op.value).get();
+    default: return set.lookup(op.value).get();
+  }
+}
+
+TEST(FuzzRt, HiSet_LinearizableAndPerfectHI) {
+  const std::uint32_t domain = 10;
+  const spec::SetSpec spec(domain);
+  using Alg = algo::HiSetAlg<FuzzEnv, FuzzPacked>;
+  fuzz_object_suite(
+      "hi-set", spec, 3, 0xa105,
+      [&](int, util::Xoshiro256& rng) { return set_script(domain, 6, rng); },
+      [&] {
+        return std::make_unique<Alg>(FuzzEnv::Ctx{}, domain,
+                                     spec.initial_state());
+      },
+      [](Alg& set, int, const spec::SetSpec::Op& op) {
+        return run_set_op(set, op);
+      },
+      [&](Alg& set, auto& recorder) {
+        // Full-domain lookup sweep: pins every bit of the final abstract set.
+        for (std::uint32_t v = 1; v <= domain; ++v) {
+          recorder.run(0, spec::SetSpec::lookup(v),
+                       [&] { return set.lookup(v).get(); });
+        }
+      },
+      [&](Alg& set, const auto& hist, const std::vector<std::size_t>& witness,
+          std::uint64_t seed) {
+        Alg replayed(FuzzEnv::Ctx{}, domain, spec.initial_state());
+        for (const std::size_t idx : witness) {
+          (void)run_set_op(replayed, hist.entries()[idx].op);
+        }
+        EXPECT_EQ(image_of(set), image_of(replayed))
+            << "perfect-HI set image diverges from witness replay at seed "
+            << seed;
+      });
+}
+
+TEST(FuzzRt, ShardedHiSet_LinearizableAndPerfectHI) {
+  const std::uint32_t domain = 12;
+  const spec::SetSpec spec(domain);
+  using Alg = algo::ShardedHiSet<FuzzEnv, FuzzPacked>;
+  const auto make = [&] {
+    return std::make_unique<Alg>(FuzzEnv::Ctx{}, domain, /*shard_count=*/4,
+                                 algo::ShardPlacement::kStriped,
+                                 std::span<const std::uint64_t>{});
+  };
+  fuzz_object_suite(
+      "sharded-hi-set", spec, 3, 0xa106,
+      [&](int, util::Xoshiro256& rng) { return set_script(domain, 6, rng); },
+      make,
+      [](Alg& set, int, const spec::SetSpec::Op& op) {
+        return run_set_op(set, op);
+      },
+      [&](Alg& set, auto& recorder) {
+        for (std::uint32_t v = 1; v <= domain; ++v) {
+          recorder.run(0, spec::SetSpec::lookup(v),
+                       [&] { return set.lookup(v).get(); });
+        }
+      },
+      [&](Alg& set, const auto& hist, const std::vector<std::size_t>& witness,
+          std::uint64_t seed) {
+        auto replayed = make();
+        for (const std::size_t idx : witness) {
+          (void)run_set_op(*replayed, hist.entries()[idx].op);
+        }
+        EXPECT_EQ(image_of(set), image_of(*replayed))
+            << "sharded-store image diverges from witness replay at seed "
+            << seed;
+      });
+}
+
+// ----------------------------------------------------------------- R-LLSC
+
+TEST(FuzzRt, CasRllsc_LinearizableAndContextClean) {
+  const int n = 3;
+  const spec::RllscSpec spec(16, n);
+  using Alg = algo::CasRllscAlg<FuzzEnv>;
+  fuzz_object_suite(
+      "cas-rllsc", spec, n, 0xa107,
+      [&](int pid, util::Xoshiro256& rng) {
+        std::vector<spec::RllscSpec::Op> script;
+        for (int i = 0; i < 5; ++i) {
+          const auto arg = static_cast<std::uint16_t>(rng.next_below(16));
+          switch (rng.next_below(6)) {
+            case 0: script.push_back(spec::RllscSpec::ll(pid)); break;
+            case 1: script.push_back(spec::RllscSpec::vl(pid)); break;
+            case 2: script.push_back(spec::RllscSpec::sc(pid, arg)); break;
+            case 3: script.push_back(spec::RllscSpec::rl(pid)); break;
+            case 4: script.push_back(spec::RllscSpec::load(pid)); break;
+            default: script.push_back(spec::RllscSpec::store(pid, arg)); break;
+          }
+        }
+        // End released: every workload closes its context bit so the final
+        // snapshot must show ctx == 0 (perfect HI of the cell).
+        script.push_back(spec::RllscSpec::rl(pid));
+        return script;
+      },
+      [&] { return std::make_unique<Alg>(FuzzEnv::Ctx{}, "X", 0); },
+      [](Alg& cell, int pid, const spec::RllscSpec::Op& op)
+          -> spec::RllscSpec::Resp {
+        switch (op.kind) {
+          case spec::RllscSpec::Kind::kLL:
+            return {static_cast<std::uint32_t>(cell.ll(pid).get()), true};
+          case spec::RllscSpec::Kind::kVL:
+            return {0, cell.vl(pid).get()};
+          case spec::RllscSpec::Kind::kSC:
+            return {0, cell.sc(pid, op.arg).get()};
+          case spec::RllscSpec::Kind::kRL:
+            return {0, cell.rl(pid).get()};
+          case spec::RllscSpec::Kind::kLoad:
+            return {static_cast<std::uint32_t>(cell.load().get()), true};
+          default:
+            return {0, cell.store(op.arg).get()};
+        }
+      },
+      [](Alg& cell, auto& recorder) {
+        recorder.run(0, spec::RllscSpec::load(0), [&] {
+          return spec::RllscSpec::Resp{
+              static_cast<std::uint32_t>(cell.load().get()), true};
+        });
+      },
+      [&](Alg& cell, const auto& hist, const std::vector<std::size_t>& witness,
+          std::uint64_t seed) {
+        const auto final_state = witness_final_state(spec, hist, witness);
+        const auto word = cell.peek_word();
+        EXPECT_EQ(word.value, final_state.val)
+            << "cell value diverges from the witness's final state at seed "
+            << seed;
+        EXPECT_EQ(word.ctx, 0u)
+            << "context bits leaked past the closing RLs at seed " << seed;
+        EXPECT_EQ(final_state.ctx, 0u);
+      });
+}
+
+// ------------------------------------------------------ universal objects
+
+std::vector<spec::CounterSpec::Op> counter_script(int ops,
+                                                  util::Xoshiro256& rng) {
+  std::vector<spec::CounterSpec::Op> script;
+  for (int i = 0; i < ops; ++i) {
+    switch (rng.next_below(4)) {
+      case 0: script.push_back(spec::CounterSpec::read()); break;
+      case 1: script.push_back(spec::CounterSpec::dec()); break;
+      default: script.push_back(spec::CounterSpec::inc()); break;
+    }
+  }
+  return script;
+}
+
+TEST(FuzzRt, UniversalCounter_LinearizableAndQuiescentCanonical) {
+  const int n = 3;
+  const spec::CounterSpec spec(1u << 20, 10);
+  using Alg = algo::UniversalAlg<FuzzEnv, spec::CounterSpec,
+                                 algo::CasRllscAlg<FuzzEnv>>;
+  fuzz_object_suite(
+      "universal-counter", spec, n, 0xa108,
+      [&](int, util::Xoshiro256& rng) { return counter_script(5, rng); },
+      [&] { return std::make_unique<Alg>(FuzzEnv::Ctx{}, spec, n); },
+      [](Alg& obj, int pid, const spec::CounterSpec::Op& op) {
+        return obj.apply(pid, op).get();
+      },
+      [](Alg& obj, auto& recorder) {
+        recorder.run(0, spec::CounterSpec::read(),
+                     [&] { return obj.apply(0, spec::CounterSpec::read()).get(); });
+      },
+      [&](Alg& obj, const auto& hist, const std::vector<std::size_t>& witness,
+          std::uint64_t seed) {
+        // Quiescent canonical memory: head = encoded abstract state with no
+        // response, all announces ⊥, no context bits — i.e. nothing about
+        // WHICH ops ran survives beyond the abstract state.
+        const auto final_state = witness_final_state(spec, hist, witness);
+        EXPECT_EQ(obj.head_state_encoded(), spec.encode_state(final_state))
+            << "head diverges from the witness's final state at seed " << seed;
+        EXPECT_FALSE(obj.head_has_response()) << "seed " << seed;
+        EXPECT_EQ(obj.context_union(), 0u) << "seed " << seed;
+        for (int pid = 0; pid < n; ++pid) {
+          EXPECT_TRUE(obj.announce_is_bottom(pid))
+              << "announce[" << pid << "] leaked at seed " << seed;
+        }
+      });
+}
+
+TEST(FuzzRt, LeakyUniversalCounter_Linearizable) {
+  // The baseline leaks history on purpose (version counter, result table) —
+  // linearizability is its only contract under concurrency.
+  const int n = 3;
+  const spec::CounterSpec spec(1u << 20, 10);
+  using Alg = algo::LeakyUniversalAlg<FuzzEnv, spec::CounterSpec>;
+  fuzz_object_suite(
+      "leaky-universal", spec, n, 0xa109,
+      [&](int, util::Xoshiro256& rng) { return counter_script(5, rng); },
+      [&] { return std::make_unique<Alg>(FuzzEnv::Ctx{}, spec, n); },
+      [](Alg& obj, int pid, const spec::CounterSpec::Op& op) {
+        return obj.apply(pid, op).get();
+      },
+      [](Alg&, auto&) {},  // lin-only: no image to pin
+      [](Alg&, const auto&, const auto&, std::uint64_t) {});
+}
+
+}  // namespace
+}  // namespace hi

@@ -29,6 +29,7 @@
 #include "core/sharded_set.h"
 #include "core/universal.h"
 #include "core/vidyasankar.h"
+#include "fuzz_common.h"
 #include "register_common.h"
 #include "replay/replay_objects.h"
 #include "replay_common.h"
@@ -96,8 +97,16 @@ std::optional<std::string> fuzz_once(
       spec, sim_sched, sim_impl, replay_sched, replay_impl, workload, trace,
       make_compare(sim_memory, sim_impl, replay_memory, replay_impl));
   if (report.ok) return std::nullopt;
-  return "seed " + std::to_string(seed) + ": " + report.message +
-         "\ntrace:\n" + trace.pretty();
+  const std::string failure = "seed " + std::to_string(seed) + ": " +
+                              report.message + "\ntrace:\n" + trace.pretty();
+  // Soak runs persist the failing trace for artifact upload
+  // ($HI_TRACE_DUMP_DIR; no-op locally).
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  testing::dump_failing_trace(
+      std::string("replay_fuzz_") + (info ? info->name() : "unknown") +
+          "_seed" + std::to_string(seed),
+      failure);
+  return failure;
 }
 
 /// Word-for-word comparator factory for objects with bit-identical

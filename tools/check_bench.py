@@ -4,6 +4,7 @@
 Usage:
     check_bench.py --fresh <dir> [--baseline <dir>] [--suites a,b,...]
                    [--warn-threshold 0.15]
+    check_bench.py --self-test
 
 Three responsibilities (docs/PERF.md "How CI consumes the artifacts"):
 
@@ -29,6 +30,11 @@ Three responsibilities (docs/PERF.md "How CI consumes the artifacts"):
 The sharded suite additionally carries structural bounds (footprint vs the
 domain/8 bitmap floor, shard-count throughput scaling on multi-core hosts)
 — see check_sharded_suite below and docs/PERF.md "Reading the sharded rows".
+
+--self-test exercises every gate against synthetic documents (schema,
+alloc gate, sharded naming/footprint/scaling/skip logic, throughput
+warnings) and exits nonzero if any gate misbehaves; CI runs it so the
+checker itself is under test.
 """
 
 import argparse
@@ -188,10 +194,158 @@ def report_throughput(suite, fresh, baseline, warn_threshold, warnings):
                 "ops/s vs committed baseline)")
 
 
+# --------------------------------------------------------------- self-test
+
+def _synthetic_row(name, threads=1, ops_per_sec=1e6, allocs_per_op=0.0,
+                   bytes_per_object=0, **overrides):
+    row = {"name": name, "threads": threads, "ops_per_sec": ops_per_sec,
+           "p50_ns": 100, "p99_ns": 500, "allocs_per_op": allocs_per_op,
+           "bytes_per_object": bytes_per_object}
+    row.update(overrides)
+    return row
+
+
+def _synthetic_doc(suite, rows, host_cores=16):
+    return {
+        "suite": suite,
+        "meta": {"compiler": "test", "cplusplus": 202002, "optimize": "-O2",
+                 "assertions": False, "sanitizer": "none", "arch": "x86_64",
+                 "host_cores": host_cores},
+        "results": rows,
+    }
+
+
+def _sharded_doc(rates, bytes_factor=1.0, host_cores=16, threads=16,
+                 mix="mixed"):
+    """A striped s1/s4/s16 sweep at domain 4M with the given ops/sec points
+    and bytes_per_object = bytes_factor × the domain/8 bitmap floor."""
+    domain = 4_000_000
+    rows = [
+        _synthetic_row(f"{mix}/4M/s{shards}", threads=threads,
+                       ops_per_sec=rate,
+                       bytes_per_object=int(domain // 8 * bytes_factor))
+        for shards, rate in zip((1, 4, 16), rates)
+    ]
+    return _synthetic_doc("sharded", rows, host_cores=host_cores)
+
+
+def self_test():
+    """Runs every gate against synthetic documents; returns an exit code."""
+    problems = []
+
+    def expect(condition, label):
+        print(f"  [{'ok' if condition else 'FAIL'}] {label}")
+        if not condition:
+            problems.append(label)
+
+    # Schema gate.
+    good = _synthetic_doc("registers", [_synthetic_row("w/1")])
+    expect(not check_schema("registers", good),
+           "schema accepts a conforming document")
+    expect(check_schema("rllsc", good),
+           "schema rejects a suite-name mismatch")
+    expect(check_schema("registers", {"suite": "registers"}),
+           "schema rejects missing meta/results")
+    truncated = _synthetic_doc("registers", [_synthetic_row("w/1")])
+    del truncated["results"][0]["p99_ns"]
+    expect(check_schema("registers", truncated),
+           "schema rejects a row missing a required key")
+    bare_meta = _synthetic_doc("registers", [_synthetic_row("w/1")])
+    del bare_meta["meta"]["sanitizer"]
+    expect(check_schema("registers", bare_meta),
+           "schema rejects meta without provenance fields")
+
+    # Alloc gate.
+    expect(not check_alloc_gate(good),
+           "alloc gate passes allocs_per_op == 0")
+    expect(check_alloc_gate(
+        _synthetic_doc("r", [_synthetic_row("w/1", allocs_per_op=0.25)])),
+           "alloc gate flags nonzero allocs_per_op")
+    expect(check_alloc_gate(
+        _synthetic_doc("r", [_synthetic_row("w/1", allocs_per_op=-1.0)])),
+           "alloc gate flags the legacy -1 'not measured' marker")
+    unmeasured = _synthetic_doc("r", [_synthetic_row("w/1")])
+    del unmeasured["results"][0]["allocs_per_op"]
+    expect(check_alloc_gate(unmeasured),
+           "alloc gate flags a missing allocs_per_op field")
+
+    # Sharded row-name contract.
+    expect(parse_sharded_row("mixed/4M/s16") == (4_000_000, 16),
+           "parse_sharded_row decodes \"<mix>/<n>M/s<shards>\"")
+    expect(parse_sharded_row("mixed/4M") is None,
+           "parse_sharded_row rejects a missing shard component")
+    expect(parse_sharded_row("mixed/4x/s2") is None,
+           "parse_sharded_row rejects a malformed domain component")
+    expect(parse_sharded_row("mixed/4M/16") is None,
+           "parse_sharded_row rejects a shard component without 's'")
+
+    # Sharded suite: pass / fail / skip.
+    failures, skips = check_sharded_suite(_sharded_doc((1e6, 2e6, 3e6)))
+    expect(not failures and not skips,
+           "sharded: monotone 2x+ sweep within the footprint bound passes")
+    failures, _ = check_sharded_suite(
+        _sharded_doc((1e6, 2e6, 3e6), bytes_factor=2.5))
+    expect(any("bytes_per_object" in f for f in failures),
+           "sharded: footprint above 2x the domain/8 floor fails")
+    failures, _ = check_sharded_suite(
+        _synthetic_doc("sharded", [_synthetic_row("mixed-4M-s1")]))
+    expect(any("naming contract" in f for f in failures),
+           "sharded: a row violating the naming contract fails")
+    failures, _ = check_sharded_suite(_sharded_doc((3e6, 2e6, 1e6)))
+    expect(any("not monotone" in f for f in failures),
+           "sharded: a non-monotone s1/s4/s16 sweep fails")
+    failures, _ = check_sharded_suite(_sharded_doc((1e6, 1.5e6, 1.9e6)))
+    expect(any(">= 2x" in f for f in failures),
+           "sharded: s16 below 2x s1 fails")
+    failures, skips = check_sharded_suite(
+        _sharded_doc((3e6, 2e6, 1e6), host_cores=1))
+    expect(not failures and any("host_cores" in s for s in skips),
+           "sharded: the scaling bound is SKIPPED (not failed) when "
+           "host_cores < threads")
+    failures, skips = check_sharded_suite(
+        _sharded_doc((1e6, 2e6, 3e6), mix="lookup"))
+    expect(not failures and not skips,
+           "sharded: non-mixed rows carry no scaling contract")
+
+    # Throughput warnings.
+    fresh = _synthetic_doc("registers",
+                           [_synthetic_row("w/1", ops_per_sec=8e5)])
+    baseline = _synthetic_doc("registers",
+                              [_synthetic_row("w/1", ops_per_sec=1e6)])
+    warnings = []
+    report_throughput("registers", fresh, baseline, 0.15, warnings)
+    expect(len(warnings) == 1,
+           "throughput: a 20% drop vs baseline raises a warning")
+    warnings = []
+    report_throughput("registers", baseline, fresh, 0.15, warnings)
+    expect(not warnings,
+           "throughput: an improvement raises no warning")
+    warnings = []
+    report_throughput(
+        "registers",
+        _synthetic_doc("registers",
+                       [_synthetic_row("w/1", ops_per_sec=9.5e5)]),
+        baseline, 0.15, warnings)
+    expect(not warnings,
+           "throughput: a 5% drop stays below the warning threshold")
+
+    if problems:
+        print(f"\nself-test FAILED ({len(problems)} gate misbehaviors):",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("\nself-test passed: every gate behaves as documented.")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--fresh", required=True,
+    parser.add_argument("--fresh",
                         help="directory holding freshly emitted BENCH_*.json")
+    parser.add_argument("--self-test", action="store_true",
+                        help="exercise every gate against synthetic documents "
+                             "and exit (no artifacts needed)")
     parser.add_argument("--baseline", default=None,
                         help="directory holding committed baseline artifacts")
     parser.add_argument("--suites", default=",".join(DEFAULT_SUITES),
@@ -200,6 +354,11 @@ def main():
                         help="ops/sec regression fraction that raises a "
                              "visible CI warning (default 0.15 = 15%%)")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.fresh:
+        parser.error("--fresh is required unless --self-test is given")
 
     suites = [s for s in args.suites.split(",") if s]
     failures = []
