@@ -1,0 +1,168 @@
+// The wait-free simulation combinator (algo/wait_free_sim.h over RtEnv) vs
+// the native wait-free register (Alg 4): what does generic helping cost on
+// hardware next to an algorithm that is wait-free by construction?
+//
+// Rows in BENCH_waitfree_sim.json (every row carries slow_path_entry_rate):
+//   wfs/*   — rt::RtWaitFreeSimHiRegister{,Padded} (combinator over Alg 2/3)
+//   alg4/*  — rt::RtWaitFreeHiRegister as the native-wait-free control
+//             (rate pinned 0.0: Alg 4 has no announce/enqueue/help machinery)
+// The solo wfs rows run the pure fast path (rate 0 — uncontended attempts
+// never fail); wfs/forced_slow_read sets fast_limit=0 so EVERY read takes
+// the announce → enqueue → help path (rate 1.0), isolating the slow path's
+// full cost; the mixed/contended rows use the PADDED layout so a TryRead
+// scan can actually lose to a concurrent write (packed K ≤ 64 snapshots a
+// single word and never fails), making the measured rate schedule-dependent
+// but in (0, 1] whenever the writer is hot enough.
+//
+// The rate denominator includes each worker's untimed warmup (the stats
+// counters cannot be reset mid-worker between warmup and the measured
+// window); warmup is ≤ 1024 of ≥ 20k ops per thread, so the dilution is
+// under 5% and identical across rows.
+//
+// allocs_per_op must be 0 in steady state on every row — the slow path's
+// coroutine chain (announce, enqueue, help) recycles through the per-thread
+// FrameArena exactly like the fast path (see rt/wait_free_sim_rt.h).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "rt/registers_rt.h"
+#include "rt/wait_free_sim_rt.h"
+#include "util/bench_json.h"
+#include "util/rng.h"
+
+namespace hi {
+namespace {
+
+constexpr std::uint32_t kValues = 64;        // packed: one-word snapshots
+constexpr std::uint32_t kPaddedValues = 16;  // padded: failable scans
+
+/// Measure one row; `rate` fills slow_path_entry_rate after the run (pass
+/// nullptr-like no-op for non-combinator controls, which pin 0.0).
+template <typename Reg, typename OpFn>
+void row(util::BenchReport& report, const char* name, Reg& reg, int threads,
+         std::size_t ops_per_thread, OpFn op) {
+  reg.reset_stats();
+  auto result = util::measure_throughput(name, threads, ops_per_thread, op);
+  result.bytes_per_object = reg.memory_bytes();
+  result.slow_path_entry_rate =
+      reg.total_ops() > 0
+          ? static_cast<double>(reg.slow_path_entries()) /
+                static_cast<double>(reg.total_ops())
+          : 0.0;
+  report.add(std::move(result));
+}
+
+/// Alg 4 control rows: natively wait-free, no slow path to enter.
+template <typename Reg, typename OpFn>
+void control_row(util::BenchReport& report, const char* name, Reg& reg,
+                 int threads, std::size_t ops_per_thread, OpFn op) {
+  auto result = util::measure_throughput(name, threads, ops_per_thread, op);
+  result.bytes_per_object = reg.memory_bytes();
+  result.slow_path_entry_rate = 0.0;
+  report.add(std::move(result));
+}
+
+void emit_bench_json() {
+  util::BenchReport report("waitfree_sim");
+
+  // ---- solo fast path vs the native control, packed K=64 ----
+  {
+    rt::RtWaitFreeSimHiRegister reg(kValues, kValues / 2);
+    util::Xoshiro256 rng(21);
+    row(report, "wfs/solo_write", reg, 1, 100'000, [&](int, std::size_t) {
+      reg.write(static_cast<std::uint32_t>(rng.next_in(1, kValues)),
+                /*pid=*/0);
+    });
+  }
+  {
+    rt::RtWaitFreeSimHiRegister reg(kValues, kValues / 2);
+    row(report, "wfs/solo_read", reg, 1, 100'000, [&](int, std::size_t) {
+      benchmark::DoNotOptimize(reg.read(/*pid=*/1));
+    });
+  }
+  {
+    rt::RtWaitFreeHiRegister reg(kValues, kValues / 2);
+    util::Xoshiro256 rng(22);
+    control_row(report, "alg4/solo_write", reg, 1, 100'000,
+                [&](int, std::size_t) {
+                  reg.write(
+                      static_cast<std::uint32_t>(rng.next_in(1, kValues)));
+                });
+  }
+  {
+    rt::RtWaitFreeHiRegister reg(kValues, kValues / 2);
+    control_row(report, "alg4/solo_read", reg, 1, 100'000,
+                [&](int, std::size_t) { benchmark::DoNotOptimize(reg.read()); });
+  }
+
+  // ---- the slow path in isolation: fast_limit=0 forces every read through
+  // announce → enqueue → self-help, even solo (rate 1.0 on the read rows;
+  // the denominator also counts the direct writes a mixed row would add,
+  // so this row is read-only) ----
+  {
+    rt::RtWaitFreeSimHiRegister reg(kValues, kValues / 2,
+                                    /*num_processes=*/2, /*fast_limit=*/0);
+    row(report, "wfs/forced_slow_read", reg, 1, 50'000,
+        [&](int, std::size_t) { benchmark::DoNotOptimize(reg.read(1)); });
+  }
+
+  // ---- SWSR under genuine concurrency, padded so reads can fail ----
+  {
+    rt::RtWaitFreeSimHiRegisterPadded reg(kPaddedValues, kPaddedValues / 2);
+    util::Xoshiro256 rng(23);
+    row(report, "wfs/swsr_mixed", reg, 2, 50'000, [&](int tid, std::size_t) {
+      if (tid == 0) {
+        reg.write(static_cast<std::uint32_t>(rng.next_in(1, kPaddedValues)),
+                  /*pid=*/0);
+      } else {
+        benchmark::DoNotOptimize(reg.read(/*pid=*/1));
+      }
+    });
+  }
+  {
+    rt::RtWaitFreeHiRegisterPadded reg(kPaddedValues, kPaddedValues / 2);
+    util::Xoshiro256 rng(24);
+    control_row(
+        report, "alg4/swsr_mixed", reg, 2, 50'000, [&](int tid, std::size_t) {
+          if (tid == 0) {
+            reg.write(
+                static_cast<std::uint32_t>(rng.next_in(1, kPaddedValues)));
+          } else {
+            benchmark::DoNotOptimize(reg.read());
+          }
+        });
+  }
+
+  // ---- one writer, two helped readers: the helping machinery under the
+  // contention it exists for (num_processes=3; readers share the queue) ----
+  {
+    rt::RtWaitFreeSimHiRegisterPadded reg(kPaddedValues, kPaddedValues / 2,
+                                          /*num_processes=*/3,
+                                          /*fast_limit=*/1);
+    util::Xoshiro256 rng(25);
+    row(report, "wfs/contended_reads", reg, 3, 30'000,
+        [&](int tid, std::size_t) {
+          if (tid == 0) {
+            reg.write(
+                static_cast<std::uint32_t>(rng.next_in(1, kPaddedValues)),
+                /*pid=*/0);
+          } else {
+            benchmark::DoNotOptimize(reg.read(/*pid=*/tid));
+          }
+        });
+  }
+
+  report.write();
+}
+
+}  // namespace
+}  // namespace hi
+
+int main(int argc, char** argv) {
+  hi::emit_bench_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

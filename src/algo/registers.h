@@ -146,8 +146,22 @@ class LockFreeHiAlg {
   }
 
   /// Write(v): set A[v], clear down v-1..1, then clear up v+1..K
-  /// (Algorithm 2, lines 5–7).
+  /// (Algorithm 2, lines 5–7). Delegates to write_sub — one extra coroutine
+  /// frame, zero extra steps (frames are never steps), so persisted traces
+  /// and step-count tests are unaffected.
   Op<std::uint32_t> write(std::uint32_t value) {
+    const std::uint32_t echoed = co_await write_sub(value);
+    co_return echoed;
+  }
+
+  /// One normalized TryRead attempt, exposed as a composable Sub for the
+  /// wait-free simulation combinator (algo/wait_free_sim.h): exactly the
+  /// private try_read() body, nullopt on the §4 contention failure.
+  Sub<std::optional<std::uint32_t>> attempt_read() { return try_read(); }
+
+  /// The write body as a composable Sub (the combinator's normalized write
+  /// attempt — it cannot fail, so writes stay wait-free under wrapping).
+  Sub<std::uint32_t> write_sub(std::uint32_t value) {
     assert(value >= 1 && value <= num_values_);
     co_await Bins::set(a_, value);
     co_await Bins::clear_down(a_, value - 1);

@@ -28,6 +28,7 @@
 #include "core/max_register.h"
 #include "core/sharded_set.h"
 #include "core/swsr_wrapper.h"
+#include "core/wait_free_sim.h"
 #include "env/replay_env.h"
 #include "sim/memory.h"
 #include "sim/task.h"
@@ -53,6 +54,18 @@ using LockFreeHiRegister =
 /// Algorithm 4 (wait-free quiescent HI) over hardware atomics.
 using WaitFreeHiRegister =
     core::SwsrRegister<algo::WaitFreeHiAlgPadded, env::ReplayEnv>;
+
+/// The wait-free simulation combinator over the Alg 2/3 reader
+/// (algo/wait_free_sim.h) — hardware atomics, scheduler-driven. Shares the
+/// pid-forwarding harness with core::WaitFreeSimHiRegister, so both sides
+/// of a differential run register identical base objects (inner A bins,
+/// then wfs.rec / wfs.q / wfs.qctl) in identical order.
+using WaitFreeSimHiRegister =
+    core::WaitFreeSimRegisterT<env::ReplayEnv,
+                               env::PaddedBins<env::ReplayEnv>>;
+using PackedWaitFreeSimHiRegister =
+    core::WaitFreeSimRegisterT<env::ReplayEnv,
+                               env::PackedBins<env::ReplayEnv>>;
 
 /// §5.1 max register over hardware atomics.
 using HiMaxRegister = core::BasicHiMaxRegister<env::ReplayEnv>;

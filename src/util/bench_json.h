@@ -132,6 +132,12 @@ struct BenchResult {
   /// bin-array tradeoff is a memory×contention tradeoff, not a pure speed
   /// knob (docs/PERF.md).
   std::uint64_t bytes_per_object = 0;
+  /// Fraction of operations that entered a helping slow path in the
+  /// measured run (wait-free simulation combinator rows; 0.0 on rows for
+  /// natively wait-free algorithms benched as controls). -1.0 means "not
+  /// applicable" and the field is omitted from the JSON — only suites whose
+  /// rows all report it (waitfree_sim) gate on it.
+  double slow_path_entry_rate = -1.0;
 };
 
 /// Run `op(tid, i)` ops_per_thread times on each of `threads` threads,
@@ -246,12 +252,18 @@ class BenchReport {
                    "    {\"name\": \"%s\", \"threads\": %d, "
                    "\"ops_per_sec\": %.1f, \"p50_ns\": %llu, "
                    "\"p99_ns\": %llu, \"allocs_per_op\": %.6g, "
-                   "\"bytes_per_object\": %llu}%s\n",
+                   "\"bytes_per_object\": %llu",
                    r.name.c_str(), r.threads, r.ops_per_sec,
                    static_cast<unsigned long long>(r.p50_ns),
                    static_cast<unsigned long long>(r.p99_ns), r.allocs_per_op,
-                   static_cast<unsigned long long>(r.bytes_per_object),
-                   i + 1 < results_.size() ? "," : "");
+                   static_cast<unsigned long long>(r.bytes_per_object));
+      if (r.slow_path_entry_rate >= 0.0) {
+        // %.6g for the same reason as allocs_per_op: a rare-but-real slow
+        // path (1 in 25k ops) must stay nonzero in the JSON.
+        std::fprintf(out, ", \"slow_path_entry_rate\": %.6g",
+                     r.slow_path_entry_rate);
+      }
+      std::fprintf(out, "}%s\n", i + 1 < results_.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);

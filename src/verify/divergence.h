@@ -1,0 +1,46 @@
+// Snapshot-divergence localization: given two mem(C) snapshots of the same
+// system layout, report exactly WHICH base-object words differ. The Thm 17
+// probe uses this to assert that the wait-free simulation combinator's HI
+// violation lives entirely in the words the combinator added (operation
+// records, help-queue ring, head/tail) while the wrapped algorithm's own
+// words remain canonical — i.e. the violation is a property of the
+// transform, not a bug in Alg 2/3.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "sim/memory.h"
+
+namespace hi::verify {
+
+/// Indices (in mem(C) registration order) at which the two snapshots'
+/// words differ. Snapshots must come from identically-laid-out systems.
+inline std::vector<std::size_t> divergent_words(const sim::MemorySnapshot& a,
+                                                const sim::MemorySnapshot& b) {
+  assert(a.words.size() == b.words.size() &&
+         "divergent_words requires same-layout snapshots");
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < a.words.size(); ++i) {
+    if (a.words[i] != b.words[i]) out.push_back(i);
+  }
+  return out;
+}
+
+/// True iff every divergent word index is >= `first_suffix_word` — the
+/// "divergence localized to the suffix" assertion. Requires at least one
+/// divergent index (identical snapshots are NOT a localized divergence;
+/// callers pinning an expected violation should fail loudly if it vanished).
+inline bool divergence_localized_after(const sim::MemorySnapshot& a,
+                                       const sim::MemorySnapshot& b,
+                                       std::size_t first_suffix_word) {
+  const std::vector<std::size_t> diff = divergent_words(a, b);
+  if (diff.empty()) return false;
+  for (const std::size_t i : diff) {
+    if (i < first_suffix_word) return false;
+  }
+  return true;
+}
+
+}  // namespace hi::verify

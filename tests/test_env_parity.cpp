@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "algo/wait_free_sim.h"
 #include "baseline/leaky_universal.h"
 #include "core/hi_register_lockfree.h"
 #include "core/hi_register_waitfree.h"
@@ -28,6 +29,7 @@
 #include "rt/rllsc_rt.h"
 #include "rt/sharded_set_rt.h"
 #include "rt/universal_rt.h"
+#include "rt/wait_free_sim_rt.h"
 #include "sim/harness.h"
 #include "sim/memory.h"
 #include "sim/scheduler.h"
@@ -181,6 +183,62 @@ TEST(EnvParity, PackedLockFreeHiRegister) {
 TEST(EnvParity, PackedWaitFreeHiRegister) {
   packed_register_parity<algo::WaitFreeHiAlgPacked<env::SimEnv>,
                          rt::RtWaitFreeHiRegister>(70, 1, 33);
+}
+
+// ---- Wait-free-sim combinator parity: beyond the inner bins, the
+// combinator's own shared words (operation records, help-queue ring,
+// head/tail) must evolve identically across backends — encode_memory
+// appends each as 8 LE bytes on both sides. The fast-path row keeps the
+// residue at zero; the fast_limit=0 row forces EVERY read through
+// announce/enqueue/self-help, marching records, slot rounds and the
+// head/tail counters through ~200 ops of slow-path evolution. ----
+
+template <typename SimBins, typename RtImpl>
+void waitfree_sim_parity(std::uint32_t num_values, std::uint32_t initial,
+                         std::uint32_t fast_limit, std::uint64_t seed) {
+  sim::Memory memory;
+  sim::Scheduler sched(2);
+  algo::WaitFreeSimHiAlg<env::SimEnv, SimBins> sim_alg(
+      memory, num_values, initial, /*num_processes=*/2, fast_limit);
+  RtImpl rt_reg(num_values, initial, /*num_processes=*/2, fast_limit);
+
+  const auto sim_image = [&sim_alg] {
+    std::vector<std::uint8_t> image;
+    sim_alg.encode_memory(image);
+    return image;
+  };
+  EXPECT_EQ(sim_image(), rt_reg.memory_image()) << "initial memory diverges";
+
+  util::Xoshiro256 rng(seed);
+  for (int step = 0; step < 200; ++step) {
+    if (rng.chance(1, 3)) {
+      const auto sim_got = sim::run_solo(sched, testing::kReaderPid,
+                                         sim_alg.read(testing::kReaderPid));
+      const auto rt_got = rt_reg.read(testing::kReaderPid);
+      EXPECT_EQ(sim_got, rt_got) << "read response diverges at " << step;
+    } else {
+      const auto value =
+          static_cast<std::uint32_t>(rng.next_in(1, num_values));
+      (void)sim::run_solo(sched, testing::kWriterPid,
+                          sim_alg.write(testing::kWriterPid, value));
+      rt_reg.write(value, testing::kWriterPid);
+    }
+    ASSERT_EQ(sim_image(), rt_reg.memory_image())
+        << "memory diverges after op " << step;
+  }
+  EXPECT_EQ(sim_alg.slow_path_entries(), rt_reg.slow_path_entries());
+  EXPECT_EQ(sim_alg.total_ops(), rt_reg.total_ops());
+}
+
+TEST(EnvParity, WaitFreeSimHiRegister) {
+  waitfree_sim_parity<env::PackedBins<env::SimEnv>,
+                      rt::RtWaitFreeSimHiRegister>(70, 1, /*fast_limit=*/1, 41);
+}
+
+TEST(EnvParity, WaitFreeSimHiRegisterForcedSlowPath) {
+  waitfree_sim_parity<env::PaddedBins<env::SimEnv>,
+                      rt::RtWaitFreeSimHiRegisterPadded>(6, 2, /*fast_limit=*/0,
+                                                         42);
 }
 
 TEST(EnvParity, PackedMaxRegister) {

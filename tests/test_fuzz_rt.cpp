@@ -43,6 +43,7 @@
 #include "algo/rllsc.h"
 #include "algo/sharded_set.h"
 #include "algo/universal.h"
+#include "algo/wait_free_sim.h"
 #include "env/fuzz_env.h"
 #include "fuzz_common.h"
 #include "sim/explorer.h"
@@ -330,6 +331,84 @@ TEST(FuzzRt, WaitFreeHiRegister_LinearizableAndQuiescentCanonical) {
             << "quiescent HI image diverges from witness replay at seed "
             << seed;
       });
+}
+
+TEST(FuzzRt, WaitFreeSimHiRegister_AggressiveYieldsAuditPinnedInnerImage) {
+  // The wait-free simulation combinator (algo/wait_free_sim.h) on real
+  // threads under the AGGRESSIVE injection policy (the positive control's
+  // knobs — fuzz_object_suite's default policy is too gentle to force the
+  // slow path reliably): writer pid 0 runs direct writes, reader pids 1/2
+  // run helped reads. Yields inside the fast-path scan push reads onto the
+  // announce/enqueue/help slow path; yields between a retirer's two CASes
+  // exercise the stale-head repair; concurrent helpers race the record CAS.
+  //
+  // Post-checks: the extended (audit-including) history linearizes, and the
+  // INNER image equals the audit-pinned unit vector e_state — Alg 2's
+  // canonical-bins property survives under the combinator. The FULL image
+  // is deliberately not compared against a witness replay: the combinator
+  // is not state-quiescent HI (Thm 17) — its records and queue counters
+  // depend on how many reads were helped, which varies per schedule.
+  const std::uint32_t k = 6;
+  const int num_threads = 3;
+  const spec::RegisterSpec spec(k, 1);
+  const env::YieldPolicy aggressive{/*permille=*/700, /*max_yields=*/4,
+                                    /*max_spins=*/64};
+  using Alg = algo::WaitFreeSimHiAlg<FuzzEnv, FuzzPacked>;
+  const int iters = testing::rt_fuzz_iters(kDefaultIters);
+  for (int iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed =
+        util::hash_combine(0xa10a, static_cast<std::uint64_t>(iter));
+    Alg reg(FuzzEnv::Ctx{}, k, 1, /*num_processes=*/num_threads,
+            /*fast_limit=*/1);
+    std::vector<std::vector<spec::RegisterSpec::Op>> scripts(num_threads);
+    for (int pid = 0; pid < num_threads; ++pid) {
+      util::Xoshiro256 rng(
+          util::hash_combine(seed, 0x5c21 + static_cast<std::uint64_t>(pid)));
+      scripts[static_cast<std::size_t>(pid)] =
+          pid == 0 ? writer_script(k, 5, rng)
+                   : std::vector<spec::RegisterSpec::Op>(
+                         4, spec::RegisterSpec::read());
+    }
+    testing::RtHistoryRecorder<spec::RegisterSpec::Op, spec::RegisterSpec::Resp>
+        recorder(num_threads);
+    testing::run_fuzz_threads(num_threads, seed, aggressive, [&](int pid) {
+      for (const spec::RegisterSpec::Op& op :
+           scripts[static_cast<std::size_t>(pid)]) {
+        recorder.run(pid, op, [&]() -> std::uint32_t {
+          if (op.kind == spec::RegisterSpec::Kind::kWrite) {
+            (void)reg.write(pid, op.value).get();
+            return 0;
+          }
+          return reg.read(pid).get();
+        });
+      }
+    });
+    // Audit (threads joined, injector disarmed here): one solo read follows
+    // everything in real time, pinning the final abstract state.
+    std::uint32_t audited = 0;
+    recorder.run(1, spec::RegisterSpec::read(), [&] {
+      audited = reg.read(1).get();
+      return audited;
+    });
+    const auto history = recorder.build();
+    ASSERT_EQ(history.num_pending(), 0u);
+    ASSERT_TRUE(verify::check_linearizable(spec, history).ok())
+        << "wait-free-sim: non-linearizable real-thread history at seed "
+        << seed;
+    ASSERT_GE(audited, 1u);
+    std::vector<std::uint8_t> expected(k, 0);
+    expected[audited - 1] = 1;
+    std::vector<std::uint8_t> inner;
+    reg.encode_inner_memory(inner);
+    EXPECT_EQ(inner, expected)
+        << "inner bins diverge from the audit-pinned unit vector at seed "
+        << seed;
+    // Stats sanity: every op counted once; only reads can enter the slow
+    // path, and each slow entry completes exactly once (owner or helper).
+    EXPECT_EQ(reg.total_ops(), 14u);  // 5 writes + 8 reads + 1 audit read
+    EXPECT_LE(reg.slow_path_entries(), 9u);
+    EXPECT_LE(reg.helped_completions(), reg.slow_path_entries());
+  }
 }
 
 TEST(FuzzRt, MaxRegister_LinearizableAndQuiescentCanonical) {

@@ -29,6 +29,7 @@
 #include "core/sharded_set.h"
 #include "core/universal.h"
 #include "core/vidyasankar.h"
+#include "core/wait_free_sim.h"
 #include "fuzz_common.h"
 #include "register_common.h"
 #include "replay/replay_objects.h"
@@ -144,6 +145,38 @@ TEST(ReplayFuzz, LockFreeHiRegister) {
 }
 TEST(ReplayFuzz, WaitFreeHiRegister) {
   fuzz_register<core::WaitFreeHiRegister, replay::WaitFreeHiRegister>(5);
+}
+
+// Wait-free-sim combinator (algo/wait_free_sim.h): the recorded schedules
+// overlap reads with writes, so some reads fail their fast attempt and run
+// the full announce/enqueue/help protocol — every record word, ring slot
+// and head/tail counter is part of the word-for-word comparison. The
+// fast_limit=0 row forces EVERY read through the slow path, so each seed
+// exercises the helped-completion CAS race between owner and writer.
+TEST(ReplayFuzz, WaitFreeSimHiRegister) {
+  fuzz_register<core::WaitFreeSimHiRegister, replay::WaitFreeSimHiRegister>(5);
+}
+TEST(ReplayFuzz, WaitFreeSimHiRegisterForcedSlowPath) {
+  const std::uint32_t k = 4;
+  const spec::RegisterSpec spec(k, 1);
+  for (std::uint64_t seed = 1; seed <= fuzz_seeds(); ++seed) {
+    const auto workload = testing::register_workload(k, 5, 4, seed);
+    const auto failure =
+        fuzz_once<spec::RegisterSpec, core::WaitFreeSimHiRegister,
+                  replay::WaitFreeSimHiRegister>(
+            spec, 2, workload, seed,
+            [&](sim::Memory& m) {
+              return core::WaitFreeSimHiRegister(m, spec, kWriterPid,
+                                                 kReaderPid, /*fast_limit=*/0);
+            },
+            [&](sim::Memory& m) {
+              return replay::WaitFreeSimHiRegister(m, spec, kWriterPid,
+                                                   kReaderPid,
+                                                   /*fast_limit=*/0);
+            },
+            word_compare);
+    ASSERT_FALSE(failure.has_value()) << *failure;
+  }
 }
 
 // Packed-layout twins at K=70 (two packed words): random schedules cross

@@ -44,7 +44,7 @@ import os
 import sys
 
 DEFAULT_SUITES = ["registers", "rllsc", "universal", "max_register", "hi_set",
-                  "sharded"]
+                  "sharded", "waitfree_sim"]
 
 REQUIRED_ROW_KEYS = ("name", "threads", "ops_per_sec", "p50_ns", "p99_ns",
                      "allocs_per_op", "bytes_per_object")
@@ -162,6 +162,38 @@ def check_sharded_suite(doc):
                 f"{mix}/{domain // 1_000_000}M: s16 must be >= 2x s1 "
                 f"({rates[2]:.0f} vs {rates[0]:.0f} ops/s)")
     return failures, skips
+
+
+def check_waitfree_sim_suite(doc):
+    """Wait-free-simulation suite bounds (bench/bench_waitfree_sim.cpp):
+
+    * EVERY row must report slow_path_entry_rate in [0, 1] — the combinator
+      rows measure it from the alg's own counters and the alg4 control rows
+      pin 0.0; a missing field means the emitter and the gate drifted apart.
+
+    * The wfs/forced_slow_read row (fast_limit=0, read-only) must report
+      exactly 1.0 — every operation is FORCED through announce → enqueue →
+      help by construction, so any other value means the slow-path counter
+      (or the fast-path bypass) is broken, not that the schedule was lucky.
+
+    Contended rows are NOT required to show a positive rate: on a
+    single-core host the threads time-slice and fast-path attempts rarely
+    fail, which is a host property, not a combinator bug.
+    """
+    failures = []
+    for row in doc.get("results", []):
+        name = row.get("name", "?")
+        rate = row.get("slow_path_entry_rate")
+        if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+            failures.append(
+                f"{name}: slow_path_entry_rate={rate!r} missing or outside "
+                "[0, 1]")
+            continue
+        if name == "wfs/forced_slow_read" and rate != 1.0:
+            failures.append(
+                f"{name}: slow_path_entry_rate={rate} but fast_limit=0 "
+                "forces EVERY op through the slow path (must be exactly 1.0)")
+    return failures
 
 
 def report_throughput(suite, fresh, baseline, warn_threshold, warnings):
@@ -307,6 +339,27 @@ def self_test():
     expect(not failures and not skips,
            "sharded: non-mixed rows carry no scaling contract")
 
+    # Wait-free-simulation suite: rate field presence / range / forced row.
+    wfs_good = _synthetic_doc("waitfree_sim", [
+        _synthetic_row("wfs/solo_read", slow_path_entry_rate=0.0),
+        _synthetic_row("wfs/forced_slow_read", slow_path_entry_rate=1.0),
+        _synthetic_row("alg4/solo_read", slow_path_entry_rate=0.0),
+    ])
+    expect(not check_waitfree_sim_suite(wfs_good),
+           "waitfree_sim: rates in [0,1] with forced row at 1.0 pass")
+    expect(check_waitfree_sim_suite(
+        _synthetic_doc("waitfree_sim", [_synthetic_row("wfs/solo_read")])),
+           "waitfree_sim: a row missing slow_path_entry_rate fails")
+    expect(check_waitfree_sim_suite(
+        _synthetic_doc("waitfree_sim", [
+            _synthetic_row("wfs/solo_read", slow_path_entry_rate=1.5)])),
+           "waitfree_sim: a rate outside [0,1] fails")
+    expect(check_waitfree_sim_suite(
+        _synthetic_doc("waitfree_sim", [
+            _synthetic_row("wfs/forced_slow_read",
+                           slow_path_entry_rate=0.4)])),
+           "waitfree_sim: forced_slow_read below 1.0 fails")
+
     # Throughput warnings.
     fresh = _synthetic_doc("registers",
                            [_synthetic_row("w/1", ops_per_sec=8e5)])
@@ -387,6 +440,9 @@ def main():
             failures.extend(f"sharded: {f}" for f in sharded_failures)
             for skip in sharded_skips:
                 print(f"  [sharded] skipped: {skip}")
+        if suite == "waitfree_sim":
+            failures.extend(
+                f"waitfree_sim: {f}" for f in check_waitfree_sim_suite(fresh))
 
         baseline = None
         if args.baseline:
