@@ -1,0 +1,180 @@
+// Traffic-trace workload rows (BENCH_traffic.json): the util/traffic.h
+// driver against the rt universal construction, in both plain (paper
+// Algorithm 5) and flat-combining modes.
+//
+// Row families:
+//   traffic/closed_contended_{plain,combine}  — closed-loop peak capacity
+//       at matched thread count; THE batching comparison: the combine row
+//       reports batch_size_mean > 1 under contention and at least matches
+//       the plain row's ops/sec (the announce scan is paid back by
+//       replacing the mode-B completion dance with two uncontended Stores
+//       per helped op).
+//   traffic/closed_oversub_combine            — heavy oversubscription
+//       (threads >> cores): every preemption parks announced ops that the
+//       next running thread sweeps into one batch.
+//   traffic/open_poisson_{plain,combine}      — open-loop arrivals at a
+//       fixed offered load, with per-class rows (`.update` / `.read`):
+//       sojourn-latency percentiles p50/p99/p999 per class.
+//   traffic/open_bursty_combine               — mean-preserving bursts
+//       (the combining sweet spot; the nightly soak stretches this row).
+//   traffic/open_trace_plain                  — replayed inter-arrival
+//       trace (HI_TRAFFIC_TRACE=<file> to replay a recorded one; a bundled
+//       synthetic day-night pattern otherwise).
+//
+// Every row keeps the allocs_per_op == 0 contract (the driver's closed-loop
+// warmup steady-states the frame arenas before the tally arms) and is gated
+// by check_bench.py's traffic suite: p50 ≤ p99 ≤ p999, batch_size_mean ≥ 1,
+// achieved_load ≤ offered_load on open rows.
+//
+// Env knobs: HI_TRAFFIC_OPS (per-thread ops, default 30000),
+// HI_TRAFFIC_SOAK=1 (nightly: 16x ops on the bursty row).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rt/universal_rt.h"
+#include "spec/counter_spec.h"
+#include "util/bench_json.h"
+#include "util/traffic.h"
+
+namespace hi {
+namespace {
+
+using spec::CounterSpec;
+using util::ArrivalProcess;
+using util::TrafficClass;
+using util::TrafficConfig;
+
+const CounterSpec& counter_spec() {
+  static const CounterSpec spec(0xffffff, 0);  // responses must fit 24 bits
+  return spec;
+}
+
+std::size_t env_ops(const char* name, std::size_t fallback) {
+  if (const char* value = std::getenv(name)) {
+    const long long parsed = std::atoll(value);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+const std::vector<TrafficClass>& update_read_mix() {
+  static const std::vector<TrafficClass> mix = {{"update", 3.0},
+                                                {"read", 1.0}};
+  return mix;
+}
+
+/// One universal-construction traffic scenario: build the object, drive the
+/// configured arrivals, attach batch statistics, emit aggregate + per-class
+/// rows.
+void universal_rows(util::BenchReport& report, const std::string& name,
+                    int threads, std::size_t ops, const TrafficConfig& cfg,
+                    bool combine) {
+  rt::RtUniversal<CounterSpec> object(counter_spec(), threads,
+                                      /*clear_contexts=*/true, combine);
+  auto result = util::run_traffic(
+      threads, ops, cfg, update_read_mix(),
+      [&object](int tid, std::uint32_t cls, std::size_t) {
+        benchmark::DoNotOptimize(object.apply(
+            tid, cls == 0 ? CounterSpec::inc() : CounterSpec::read()));
+      });
+  const std::uint64_t batches = object.batches_installed();
+  const double batch_mean =
+      batches > 0 ? static_cast<double>(object.ops_combined()) /
+                        static_cast<double>(batches)
+                  : 1.0;
+  for (auto& row : result.to_results(name)) {
+    row.bytes_per_object = object.memory_bytes();
+    row.batch_size_mean = batch_mean;
+    report.add(std::move(row));
+  }
+}
+
+/// The bundled synthetic trace: a day-night load pattern — dense daytime
+/// gaps, sparse nighttime gaps, repeated (ns units).
+std::vector<std::uint64_t> default_trace() {
+  std::vector<std::uint64_t> gaps;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (int i = 0; i < 48; ++i) gaps.push_back(4'000);    // "day"
+    for (int i = 0; i < 16; ++i) gaps.push_back(60'000);   // "night"
+  }
+  return gaps;
+}
+
+void emit_bench_json() {
+  const std::size_t ops = env_ops("HI_TRAFFIC_OPS", 30'000);
+  const bool soak = std::getenv("HI_TRAFFIC_SOAK") != nullptr;
+  util::BenchReport report("traffic");
+
+  // Closed-loop contended pair: the flat-combining justification row.
+  {
+    TrafficConfig cfg;
+    cfg.arrivals = ArrivalProcess::kClosedLoop;
+    cfg.seed = 11;
+    universal_rows(report, "traffic/closed_contended_plain", 3, ops, cfg,
+                   /*combine=*/false);
+    universal_rows(report, "traffic/closed_contended_combine", 3, ops, cfg,
+                   /*combine=*/true);
+  }
+  // Oversubscription: more workers than cores, so preemption parks whole
+  // groups of announced ops for the next slice's winner to batch.
+  {
+    TrafficConfig cfg;
+    cfg.arrivals = ArrivalProcess::kClosedLoop;
+    cfg.seed = 13;
+    universal_rows(report, "traffic/closed_oversub_combine", 8, ops / 2, cfg,
+                   /*combine=*/true);
+  }
+  // Open-loop Poisson at a fixed offered load (under peak, so the row
+  // measures sojourn latency rather than saturation).
+  {
+    TrafficConfig cfg;
+    cfg.arrivals = ArrivalProcess::kPoisson;
+    cfg.offered_ops_per_sec = 200'000.0;
+    cfg.seed = 17;
+    universal_rows(report, "traffic/open_poisson_plain", 3, ops, cfg,
+                   /*combine=*/false);
+    universal_rows(report, "traffic/open_poisson_combine", 3, ops, cfg,
+                   /*combine=*/true);
+  }
+  // Bursty arrivals: same mean rate as the Poisson row, 8x rate inside
+  // bursts — the tail-latency stress and the nightly soak row.
+  {
+    TrafficConfig cfg;
+    cfg.arrivals = ArrivalProcess::kBursty;
+    cfg.offered_ops_per_sec = 200'000.0;
+    cfg.burst_factor = 8.0;
+    cfg.burst_len = 32;
+    cfg.seed = 19;
+    universal_rows(report, "traffic/open_bursty_combine", 3,
+                   soak ? ops * 16 : ops, cfg, /*combine=*/true);
+  }
+  // Trace replay: a recorded gap file if provided, else the bundled
+  // synthetic day-night pattern.
+  {
+    TrafficConfig cfg;
+    cfg.arrivals = ArrivalProcess::kTrace;
+    if (const char* path = std::getenv("HI_TRAFFIC_TRACE")) {
+      cfg.trace_gaps_ns = util::load_gaps_file(path);
+    }
+    if (cfg.trace_gaps_ns.empty()) cfg.trace_gaps_ns = default_trace();
+    cfg.seed = 23;
+    universal_rows(report, "traffic/open_trace_plain", 2, ops, cfg,
+                   /*combine=*/false);
+  }
+  report.write();
+}
+
+}  // namespace
+}  // namespace hi
+
+int main(int argc, char** argv) {
+  hi::emit_bench_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,7 +12,11 @@
 // full cost; the mixed/contended rows use the PADDED layout so a TryRead
 // scan can actually lose to a concurrent write (packed K ≤ 64 snapshots a
 // single word and never fails), making the measured rate schedule-dependent
-// but in (0, 1] whenever the writer is hot enough.
+// but in (0, 1] whenever the writer is hot enough. The
+// wfs/traffic_closed_t{2,3} rows rerun that contended shape under the
+// traffic driver's closed loop (util/traffic.h — the load generator
+// bench_traffic.cpp uses), adding the p50/p99/p999 sojourn triple and the
+// reader-count scaling of slow_path_entry_rate.
 //
 // The rate denominator includes each worker's untimed warmup (the stats
 // counters cannot be reset mid-worker between warmup and the measured
@@ -25,11 +29,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
 
 #include "rt/registers_rt.h"
 #include "rt/wait_free_sim_rt.h"
 #include "util/bench_json.h"
 #include "util/rng.h"
+#include "util/traffic.h"
 
 namespace hi {
 namespace {
@@ -151,6 +157,43 @@ void emit_bench_json() {
             benchmark::DoNotOptimize(reg.read(/*pid=*/tid));
           }
         });
+  }
+
+  // ---- contention scaling under the traffic driver's closed loop (the
+  // same load generator as bench_traffic.cpp, so the wfs rows and the
+  // universal traffic rows are comparable run-for-run): writer pid 0 is
+  // hot, the padded layout makes reader TryRead scans actually lose to it,
+  // and slow_path_entry_rate grows with the reader count — the
+  // contention-scaling signal. Full percentile triple + load pair on each
+  // row, like every traffic-driven row. ----
+  for (const int threads : {2, 3}) {
+    rt::RtWaitFreeSimHiRegisterPadded reg(kPaddedValues, kPaddedValues / 2,
+                                          /*num_processes=*/threads,
+                                          /*fast_limit=*/1);
+    reg.reset_stats();
+    util::TrafficConfig cfg;
+    cfg.seed = 31 + static_cast<std::uint64_t>(threads);
+    const util::TrafficResult result = util::run_traffic(
+        threads, 30'000, cfg, {{"op", 1.0}},
+        [&](int tid, std::uint32_t, std::size_t i) {
+          if (tid == 0) {
+            reg.write(static_cast<std::uint32_t>(i % kPaddedValues) + 1,
+                      /*pid=*/0);
+          } else {
+            benchmark::DoNotOptimize(reg.read(/*pid=*/tid));
+          }
+        });
+    const double rate =
+        reg.total_ops() > 0
+            ? static_cast<double>(reg.slow_path_entries()) /
+                  static_cast<double>(reg.total_ops())
+            : 0.0;
+    for (util::BenchResult& r : result.to_results(
+             "wfs/traffic_closed_t" + std::to_string(threads))) {
+      r.bytes_per_object = reg.memory_bytes();
+      r.slow_path_entry_rate = rate;
+      report.add(std::move(r));
+    }
   }
 
   report.write();

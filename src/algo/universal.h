@@ -30,11 +30,40 @@
 // helping leaves behind; ablation tests compile with clear_contexts=false
 // to show exactly which HI property breaks without them (E14 ablation (a)).
 //
-// The ⟨q, r⟩ head and op/resp announce encodings are the only per-backend
-// detail: RllscWordCodec<RllscValue> keeps the simulator's two-word payload
-// (full 64-bit abstract states), RllscWordCodec<uint64_t> is the hardware
-// packing (states ≤ 32 bits, responses ≤ 24 bits, ≤ 64 processes — the
-// DESIGN substitution documented at Atomic128).
+// The ⟨q, r⟩ head and op/resp announce encodings are shared across ALL
+// backends: Word64HeadCodec packs every head/announce tuple into one 64-bit
+// word (states ≤ 32 bits, responses ≤ 24 bits, ≤ 64 processes — the DESIGN
+// substitution documented at Atomic128), and both RllscWordCodec
+// specializations delegate to it. The simulator carries the word in
+// RllscValue::lo with hi ≡ 0, so a universal memory snapshot is bit-exact
+// across SimEnv/RtEnv/ReplayEnv — exactly like FkHeadCodec already is for
+// the leaky baseline — which is what lets the replay differentials and the
+// sim↔rt parity suite compare raw words instead of decoding semantically.
+//
+// Flat-combining mode (combine=true; docs/PAPER_MAP.md "Combining
+// deviation"). The announce array doubles as a combining publication list:
+// the process whose head SC succeeds (the *winner*) first scans all n
+// announce cells, folds every pending operation into one state transition
+// (ascending pid order), and installs a single *combining record*
+// ⟨q_final, combining-bit, winner⟩ with that SC. While the record is in
+// head, every other process's LL simply retries (the record is inert to
+// helpers), and the winner alone Stores each helped response into its
+// announce cell, then Stores head back to ⟨q_final, ⊥⟩. Exactly-once: a
+// successful SC means head was untouched over [LL, SC], and responses are
+// only ever written under a combining record, so every op the winner saw as
+// pending is genuinely unapplied and nobody else writes responses during
+// the winner's phase — the winner's Stores cannot be contended. The whole
+// batch linearizes at the winning SC, in ascending-pid fold order; a
+// concurrent ApplyReadOnly that loads the combining record reads q_final
+// and thus linearizes after the batch (same precedent as reading a mode-B
+// head). The state-quiescent image is UNCHANGED — head ⟨q,⊥⟩, announce ≡ ⊥,
+// contexts empty — because combining only moves *who* applies announced
+// operations, never what quiescent memory looks like; announce cells are
+// touched only by Stores (context-resetting) in this mode, and the
+// mode-B/helping lines 16–22 are dormant (head never carries ⟨rsp,j⟩).
+// The trade is the classic flat-combining one: a stalled winner blocks the
+// batch, so combine=true is lock-free, not wait-free. combine=false (the
+// default) is the paper's wait-free Algorithm 5, unchanged.
 //
 // This body contains no CAS retry loop of its own — every retry lives in
 // the R-LLSC cell it is composed over, so when Cell = CasRllscAlg the
@@ -50,6 +79,8 @@
 // allocations however much helping it does.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <deque>
@@ -64,12 +95,13 @@
 
 namespace hi::algo {
 
-/// Decoded view of a head value ⟨q, r⟩.
+/// Decoded view of a head value ⟨q, r⟩ (plus the combining tag).
 struct HeadView {
   std::uint64_t state = 0;  // encoded abstract state q
   bool has_response = false;
-  std::uint32_t rsp = 0;  // valid iff has_response
-  int pid = -1;           // valid iff has_response
+  bool combining = false;  // a winner's batch record (combine mode only)
+  std::uint32_t rsp = 0;   // valid iff has_response
+  int pid = -1;            // valid iff has_response or combining
 };
 
 /// The response half of a mode-B head: ⟨rsp, j⟩.
@@ -78,93 +110,114 @@ struct HeadResp {
   int pid;
 };
 
-/// Packing of head/announce tuples into an R-LLSC value type V.
-template <typename V>
-struct RllscWordCodec;
-
-/// Simulator packing (two-word values): lo carries tag<<32 | payload for
-/// announce cells, the full 64-bit encoded state for head; hi is ⊥ (0) or
-/// bit63 | pid<<32 | rsp.
-template <>
-struct RllscWordCodec<RllscValue> {
+/// The ONE packing of head/announce tuples, shared by every backend
+/// (docs/ENV.md "Word64HeadCodec contract"). All tuples fit a single 64-bit
+/// word:
+///
+///   announce: tag (bits 32-33: 1 = op, 2 = resp) | payload (bits 0-31);
+///             ⊥ = 0.
+///   head:     state (bits 0-31) | rsp (bits 32-55) | pid (bits 56-61) |
+///             has-response (bit 62) | combining (bit 63).
+///
+/// Mode A is ⟨q, ⊥⟩ = just the state bits; mode B sets bit 62 and carries
+/// ⟨rsp, j⟩; a combining record sets bit 63 and carries only the winner's
+/// pid (no response payload — helped responses travel through the announce
+/// cells). Bits 62 and 63 are mutually exclusive by construction. The bit
+/// positions are pinned by tests/test_head_codec.cpp: changing them is a
+/// cross-backend snapshot-format break.
+struct Word64HeadCodec {
   static constexpr std::uint64_t kTagOp = 1;
   static constexpr std::uint64_t kTagResp = 2;
+  static constexpr std::uint64_t kStateMask = 0xffffffffull;
+  static constexpr std::uint64_t kRspMask = 0xffffffull;
+  static constexpr int kRspShift = 32;
+  static constexpr int kPidShift = 56;
+  static constexpr std::uint64_t kHasBit = std::uint64_t{1} << 62;
+  static constexpr std::uint64_t kCombineBit = std::uint64_t{1} << 63;
 
-  static RllscValue bottom() { return RllscValue{}; }
-  static RllscValue announce_op(std::uint32_t word) {
-    return RllscValue{(kTagOp << 32) | word, 0};
-  }
-  static RllscValue announce_resp(std::uint32_t word) {
-    return RllscValue{(kTagResp << 32) | word, 0};
-  }
-  static bool is_bottom(const RllscValue& v) { return v.lo == 0; }
-  static bool is_op(const RllscValue& v) { return (v.lo >> 32) == kTagOp; }
-  static bool is_resp(const RllscValue& v) { return (v.lo >> 32) == kTagResp; }
-  static std::uint32_t payload(const RllscValue& v) {
-    return static_cast<std::uint32_t>(v.lo & 0xffffffffu);
-  }
-
-  static RllscValue make_head(std::uint64_t state_encoded,
-                              std::optional<HeadResp> resp) {
-    std::uint64_t hi = 0;
-    if (resp.has_value()) {
-      hi = (std::uint64_t{1} << 63) |
-           (static_cast<std::uint64_t>(resp->pid) << 32) | resp->rsp;
-    }
-    return RllscValue{state_encoded, hi};
-  }
-  static HeadView decode_head(const RllscValue& v) {
-    HeadView view;
-    view.state = v.lo;
-    view.has_response = (v.hi >> 63) != 0;
-    if (view.has_response) {
-      view.pid = static_cast<int>((v.hi >> 32) & 0x7fffffffu);
-      view.rsp = static_cast<std::uint32_t>(v.hi & 0xffffffffu);
-    }
-    return view;
-  }
-};
-
-/// Hardware packing (single 64-bit value word).
-/// announce: tag (bits 32-33) | payload (bits 0-31); ⊥ = 0.
-/// head: state (bits 0-31) | rsp (32-55) | pid (56-61) | has (62).
-template <>
-struct RllscWordCodec<std::uint64_t> {
   static std::uint64_t bottom() { return 0; }
   static std::uint64_t announce_op(std::uint32_t word) {
-    return (std::uint64_t{1} << 32) | word;
+    return (kTagOp << 32) | word;
   }
   static std::uint64_t announce_resp(std::uint32_t word) {
-    return (std::uint64_t{2} << 32) | word;
+    return (kTagResp << 32) | word;
   }
   static bool is_bottom(std::uint64_t v) { return v == 0; }
-  static bool is_op(std::uint64_t v) { return (v >> 32) == 1; }
-  static bool is_resp(std::uint64_t v) { return (v >> 32) == 2; }
+  static bool is_op(std::uint64_t v) { return (v >> 32) == kTagOp; }
+  static bool is_resp(std::uint64_t v) { return (v >> 32) == kTagResp; }
   static std::uint32_t payload(std::uint64_t v) {
     return static_cast<std::uint32_t>(v & 0xffffffffu);
   }
 
   static std::uint64_t make_head(std::uint64_t state_encoded,
                                  std::optional<HeadResp> resp) {
-    assert(state_encoded <= 0xffffffffull && "rt states must fit 32 bits");
+    assert(state_encoded <= kStateMask && "encoded states must fit 32 bits");
     std::uint64_t word = state_encoded;
     if (resp.has_value()) {
-      assert(resp->rsp <= 0xffffffu && "rt responses must fit 24 bits");
-      word |= (static_cast<std::uint64_t>(resp->rsp) << 32) |
-              (static_cast<std::uint64_t>(resp->pid) << 56) |
-              (std::uint64_t{1} << 62);
+      assert(resp->rsp <= kRspMask && "encoded responses must fit 24 bits");
+      word |= (static_cast<std::uint64_t>(resp->rsp) << kRspShift) |
+              (static_cast<std::uint64_t>(resp->pid) << kPidShift) | kHasBit;
     }
     return word;
   }
+  static std::uint64_t make_combining_head(std::uint64_t state_encoded,
+                                           int pid) {
+    assert(state_encoded <= kStateMask && "encoded states must fit 32 bits");
+    return state_encoded | (static_cast<std::uint64_t>(pid) << kPidShift) |
+           kCombineBit;
+  }
   static HeadView decode_head(std::uint64_t v) {
     HeadView view;
-    view.state = v & 0xffffffffu;
-    view.has_response = (v >> 62) & 1u;
-    if (view.has_response) {
-      view.pid = static_cast<int>((v >> 56) & 0x3fu);
-      view.rsp = static_cast<std::uint32_t>((v >> 32) & 0xffffffu);
+    view.state = v & kStateMask;
+    view.has_response = (v & kHasBit) != 0;
+    view.combining = (v & kCombineBit) != 0;
+    if (view.has_response || view.combining) {
+      view.pid = static_cast<int>((v >> kPidShift) & 0x3fu);
+      view.rsp = static_cast<std::uint32_t>((v >> kRspShift) & kRspMask);
     }
     return view;
+  }
+};
+
+/// Per-backend adapter from Word64HeadCodec to the R-LLSC value type V.
+template <typename V>
+struct RllscWordCodec;
+
+/// Hardware / replay value word: the codec word verbatim.
+template <>
+struct RllscWordCodec<std::uint64_t> : Word64HeadCodec {};
+
+/// Simulator value: the codec word in lo, hi ≡ 0 — so a sim snapshot of a
+/// universal object is bit-identical to the rt/replay snapshot of the same
+/// configuration (this is what upgraded the universal replay rows from
+/// semantic comparison to verify::snapshot_word_compare).
+template <>
+struct RllscWordCodec<RllscValue> {
+  using W = Word64HeadCodec;
+
+  static RllscValue bottom() { return RllscValue{}; }
+  static RllscValue announce_op(std::uint32_t word) {
+    return RllscValue{W::announce_op(word), 0};
+  }
+  static RllscValue announce_resp(std::uint32_t word) {
+    return RllscValue{W::announce_resp(word), 0};
+  }
+  static bool is_bottom(const RllscValue& v) { return W::is_bottom(v.lo); }
+  static bool is_op(const RllscValue& v) { return W::is_op(v.lo); }
+  static bool is_resp(const RllscValue& v) { return W::is_resp(v.lo); }
+  static std::uint32_t payload(const RllscValue& v) {
+    return W::payload(v.lo);
+  }
+  static RllscValue make_head(std::uint64_t state_encoded,
+                              std::optional<HeadResp> resp) {
+    return RllscValue{W::make_head(state_encoded, resp), 0};
+  }
+  static RllscValue make_combining_head(std::uint64_t state_encoded,
+                                        int pid) {
+    return RllscValue{W::make_combining_head(state_encoded, pid), 0};
+  }
+  static HeadView decode_head(const RllscValue& v) {
+    return W::decode_head(v.lo);
   }
 };
 
@@ -182,11 +235,15 @@ class UniversalAlg {
 
   /// `clear_contexts` disables the paper's red lines (22 and 27 and the RL
   /// of 18R.2) when false — the HI-breaking ablation. Production use: true.
+  /// `combine` switches apply_update from the paper's one-op-per-SC helping
+  /// protocol to flat-combining batches (header comment): same linearizable
+  /// behaviour, same quiescent image, lock-free instead of wait-free.
   UniversalAlg(typename Env::Ctx ctx, const S& spec, int num_processes,
-               bool clear_contexts = true)
+               bool clear_contexts = true, bool combine = false)
       : spec_(spec),
         n_(num_processes),
         clear_contexts_(clear_contexts),
+        combine_(combine),
         head_(ctx, "head",
               Codec::make_head(spec.encode_state(spec.initial_state()),
                                std::nullopt)) {
@@ -198,11 +255,27 @@ class UniversalAlg {
                              Codec::bottom());
     }
     for (int i = 0; i < n_; ++i) priority_.emplace_back(i);
+    for (int i = 0; i < n_; ++i) {
+      batches_installed_.emplace_back(0);
+      ops_combined_.emplace_back(0);
+    }
   }
 
   OpT<Resp> apply(int pid, Op op) {
     if (spec_.is_read_only(op)) return apply_read_only(pid, op);
     return apply_update(pid, op);
+  }
+
+  /// Test support: park an announcement exactly as if `pid` executed line 4
+  /// and then stalled. Lets parity/step scripts stage a combining batch
+  /// deterministically on every backend (the rt side runs whole operations
+  /// eagerly, so a stalled-mid-op process cannot be expressed there any
+  /// other way). The parked operation is applied by the next winner; `pid`
+  /// never collects the response.
+  OpT<bool> announce_only(int pid, Op op) {
+    assert(pid >= 0 && pid < n_);
+    co_await announce_[pid].store(Codec::announce_op(spec_.encode_op(op)));
+    co_return true;
   }
 
   /// ApplyReadOnly (lines 1–3): Load head, evaluate Δ locally, return.
@@ -238,6 +311,62 @@ class UniversalAlg {
       if (!head_raw.has_value()) break;  // 6R.2: goto line 24
       const HeadView head_view = Codec::decode_head(*head_raw);
 
+      if (combine_) {
+        // Flat-combining protocol (header comment). A combining record in
+        // head means another winner is mid-phase: its responses are in
+        // flight through the announce cells, so just retry from line 5
+        // (ours may be among them). Hand the core back first — on an
+        // oversubscribed machine the winner may be preempted mid-phase,
+        // and hard-spinning on its record burns the slice it needs.
+        if (head_view.combining) {
+          Env::relax();
+          continue;
+        }
+        // This mode never installs mode-B records, so head is mode A here.
+        assert(!head_view.has_response);
+
+        // Scan pass: collect every pending operation and fold the batch
+        // into one state transition, ascending pid (= linearization order
+        // within the batch). Membership is pinned by `batch` — a response
+        // is owed to exactly the cells seen as op now; anything announced
+        // later waits for the next winner.
+        std::uint64_t batch = 0;
+        std::array<std::uint32_t, 64> rsps;
+        auto state = spec_.decode_state(head_view.state);
+        for (int j = 0; j < n_; ++j) {
+          const V aj = co_await announce_[j].load();
+          if (!Codec::is_op(aj)) continue;
+          batch |= std::uint64_t{1} << j;
+          auto [next, rsp] =
+              spec_.apply(state, spec_.decode_op(Codec::payload(aj)));
+          state = next;
+          rsps[static_cast<std::size_t>(j)] = spec_.encode_resp(rsp);
+        }
+        // All cells already answered (a winner served us since line 5):
+        // retry, line 5 will see the response.
+        if (batch == 0) continue;
+
+        const bool installed = co_await head_.sc(
+            pid, Codec::make_combining_head(spec_.encode_state(state), pid));
+        if (!installed) continue;
+        // Winner phase: the batch is applied (it linearized at the SC
+        // above); publish each response, then release head. Success of the
+        // SC means head was untouched over [LL, SC], hence no response was
+        // written anywhere in that window and every scanned op is still in
+        // its cell with its owner parked at line 5 — so nobody contends
+        // these Stores (which also reset the cells' contexts).
+        *batches_installed_[pid] += 1;
+        *ops_combined_[pid] += static_cast<std::uint64_t>(std::popcount(batch));
+        for (int j = 0; j < n_; ++j) {
+          if (((batch >> j) & 1u) == 0) continue;
+          co_await announce_[j].store(
+              Codec::announce_resp(rsps[static_cast<std::size_t>(j)]));
+        }
+        co_await head_.store(
+            Codec::make_head(spec_.encode_state(state), std::nullopt));
+        continue;  // line 5 picks up our own response (if we were served)
+      }
+
       if (!head_view.has_response) {  // line 7: in-between operations
         std::uint32_t apply_word = 0;
         int target = -1;
@@ -261,6 +390,10 @@ class UniversalAlg {
                                            target}));  // line 14
         if (installed) {
           *priority_[pid] = (*priority_[pid] + 1) % n_;  // line 15
+          // A plain mode-A install is a batch of one (so batch_size_mean
+          // reads 1.0 on non-combining rows).
+          *batches_installed_[pid] += 1;
+          *ops_combined_[pid] += 1;
         }
       } else {  // lines 16–22: finish the half-applied operation
         const std::uint32_t rsp_word = head_view.rsp;  // line 17
@@ -342,6 +475,28 @@ class UniversalAlg {
     return image;
   }
 
+  /// Successful head installs (mode-A SCs; in combine mode, combining-record
+  /// SCs) summed over processes. Each counter is owner-written and only read
+  /// by observers at rest, so no atomics are needed.
+  std::uint64_t batches_installed() const {
+    std::uint64_t total = 0;
+    for (const auto& c : batches_installed_) total += *c;
+    return total;
+  }
+  /// Operations applied through those installs; ops_combined() /
+  /// batches_installed() is the mean batch size (exactly 1.0 when
+  /// combine=false).
+  std::uint64_t ops_combined() const {
+    std::uint64_t total = 0;
+    for (const auto& c : ops_combined_) total += *c;
+    return total;
+  }
+  void reset_batch_stats() {
+    for (auto& c : batches_installed_) *c = 0;
+    for (auto& c : ops_combined_) *c = 0;
+  }
+  bool combining_enabled() const { return combine_; }
+
   bool is_lock_free() const { return head_.is_lock_free(); }
   int num_processes() const { return n_; }
   /// Bytes of shared storage (head + announce cells; observer-side, the
@@ -368,11 +523,16 @@ class UniversalAlg {
   const S& spec_;
   int n_;
   bool clear_contexts_;
+  bool combine_;
   Cell head_;
   std::deque<Cell> announce_;
   // Per-process local variable priority_i; padded so hardware threads do not
   // false-share (a scheduler-local no-op in the simulator).
   std::deque<util::Padded<int>> priority_;
+  // Per-process batch statistics (bench instrumentation, not part of the
+  // shared-memory image): padded and owner-written like priority_.
+  std::deque<util::Padded<std::uint64_t>> batches_installed_;
+  std::deque<util::Padded<std::uint64_t>> ops_combined_;
 };
 
 }  // namespace hi::algo

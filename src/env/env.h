@@ -101,11 +101,32 @@ struct [[nodiscard]] Ready {
 template <typename Fn>
 Ready(Fn) -> Ready<Fn>;
 
-/// An already-computed value as an awaitable; lets bool-returning legacy
-/// polls satisfy the awaitable-poll interface of ll_interleaved.
+/// An already-computed value as an awaitable. This — not Ready — is the
+/// shape the eager (rt/fuzz) environments return from every primitive: the
+/// atomic access executes inside the primitive call itself, while all
+/// argument references are trivially alive, and only the plain result value
+/// rides through the await transform. Carrying argument *captures* through
+/// nested always-ready awaiters instead (the fenced-Ready-inside-Ready
+/// pattern) was observed to miscompile under GCC 12 with -DNDEBUG: in a
+/// CAS retry loop the captured `expected` word lagged the refreshed value
+/// by one iteration and was transiently clobbered with bytes from a nested
+/// poll coroutine's frame, letting a stale CAS succeed and resurrect a
+/// retired flat-combining record (livelock). A value-only payload with no
+/// lambda and no nesting gives the transform nothing to get wrong.
+template <typename T>
+struct [[nodiscard]] Done {
+  T value;
+
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  T await_resume() { return std::move(value); }
+};
+
+/// An already-computed value as an awaitable; also lets bool-returning
+/// legacy polls satisfy the awaitable-poll interface of ll_interleaved.
 template <typename T>
 auto ready(T value) {
-  return Ready{[value]() mutable { return std::move(value); }};
+  return Done<T>{std::move(value)};
 }
 
 }  // namespace detail

@@ -18,9 +18,9 @@
 //
 // Design: every FuzzEnv primitive delegates to the corresponding RtEnv
 // primitive — same cell types, same atomic bodies, same eager frame-arena
-// Op/Sub tasks — and wraps the returned always-ready awaiter so that
-// YieldInjector::point() runs immediately before and after the atomic
-// access. Algorithms instantiate unchanged; the injector is thread_local
+// Op/Sub tasks, same execute-at-call discipline (detail::Done in env.h) —
+// with YieldInjector::point() running immediately before and after the
+// atomic access, all inside the primitive call itself. Algorithms instantiate unchanged; the injector is thread_local
 // and costs one predictable branch when disarmed, so a disarmed FuzzEnv
 // behaves exactly like RtEnv (modulo that branch).
 //
@@ -109,19 +109,23 @@ class YieldInjector {
 /// over FuzzEnv unchanged and interoperates with RtEnv storage helpers.
 struct FuzzEnv {
  private:
-  /// Wraps an RtEnv always-ready awaiter so the injector runs immediately
-  /// before and after the atomic access (delay the access / delay the next
-  /// local step — together they cover both sides of every inter-primitive
-  /// window, including the invoke and response edges). Defined before the
-  /// primitives: the auto return type must be deduced at their point of use.
-  template <typename Inner>
-  static auto fenced(Inner inner) {
-    return detail::Ready{[inner = std::move(inner)]() mutable {
-      YieldInjector::point();
-      auto result = inner.await_resume();
-      YieldInjector::point();
-      return result;
-    }};
+  /// Runs `make` — a thunk invoking one RtEnv primitive, which executes its
+  /// atomic access eagerly and returns a Done awaiter — with the injector
+  /// immediately before and after the access (delay the access / delay the
+  /// next local step — together they cover both sides of every
+  /// inter-primitive window, including the invoke and response edges).
+  /// Everything executes synchronously inside the FuzzEnv primitive call
+  /// while every argument reference is alive; only the result-carrying Done
+  /// awaiter flows back through co_await (see detail::Done in env.h for why
+  /// no argument capture may outlive the primitive call). Defined before
+  /// the primitives: the auto return type must be deduced at their point of
+  /// use.
+  template <typename MakeFn>
+  static auto fenced(MakeFn&& make) {
+    YieldInjector::point();
+    auto done = make();
+    YieldInjector::point();
+    return done;
   }
 
  public:
@@ -198,6 +202,7 @@ struct FuzzEnv {
   static bool cas_is_lock_free(const CasCell& cell) {
     return RtEnv::cas_is_lock_free(cell);
   }
+  static void relax() noexcept { RtEnv::relax(); }
 
   static WordArray make_word_array(Ctx ctx, const char* prefix,
                                    std::uint32_t count, std::uint64_t initial) {
@@ -210,43 +215,46 @@ struct FuzzEnv {
   // ---- primitives: RtEnv's atomic bodies fenced by perturbation points ----
 
   static auto read_bit(BinArray& array, std::uint32_t index) {
-    return fenced(RtEnv::read_bit(array, index));
+    return fenced([&] { return RtEnv::read_bit(array, index); });
   }
   static auto write_bit(BinArray& array, std::uint32_t index,
                         std::uint8_t value) {
-    return fenced(RtEnv::write_bit(array, index, value));
+    return fenced([&] { return RtEnv::write_bit(array, index, value); });
   }
 
   static auto load_packed_word(PackedBinArray& array, std::uint32_t w) {
-    return fenced(RtEnv::load_packed_word(array, w));
+    return fenced([&] { return RtEnv::load_packed_word(array, w); });
   }
   static auto or_packed_word(PackedBinArray& array, std::uint32_t w,
                              std::uint64_t mask) {
-    return fenced(RtEnv::or_packed_word(array, w, mask));
+    return fenced([&] { return RtEnv::or_packed_word(array, w, mask); });
   }
   static auto and_packed_word(PackedBinArray& array, std::uint32_t w,
                               std::uint64_t mask) {
-    return fenced(RtEnv::and_packed_word(array, w, mask));
+    return fenced([&] { return RtEnv::and_packed_word(array, w, mask); });
   }
 
-  static auto cas_read(CasCell& cell) { return fenced(RtEnv::cas_read(cell)); }
+  static auto cas_read(CasCell& cell) {
+    return fenced([&] { return RtEnv::cas_read(cell); });
+  }
   static auto cas(CasCell& cell, const Word& expected, const Word& desired) {
-    return fenced(RtEnv::cas(cell, expected, desired));
+    return fenced([&] { return RtEnv::cas(cell, expected, desired); });
   }
   static auto cas_write(CasCell& cell, const Word& desired) {
-    return fenced(RtEnv::cas_write(cell, desired));
+    return fenced([&] { return RtEnv::cas_write(cell, desired); });
   }
 
   static auto read_word(WordArray& array, std::uint32_t index) {
-    return fenced(RtEnv::read_word(array, index));
+    return fenced([&] { return RtEnv::read_word(array, index); });
   }
   static auto write_word(WordArray& array, std::uint32_t index,
                          std::uint64_t value) {
-    return fenced(RtEnv::write_word(array, index, value));
+    return fenced([&] { return RtEnv::write_word(array, index, value); });
   }
   static auto cas_word(WordArray& array, std::uint32_t index,
                        std::uint64_t expected, std::uint64_t desired) {
-    return fenced(RtEnv::cas_word(array, index, expected, desired));
+    return fenced(
+        [&] { return RtEnv::cas_word(array, index, expected, desired); });
   }
 };
 

@@ -404,6 +404,10 @@ struct ReplayEnv {
   static bool cas_is_lock_free(const CasCell& cell) {
     return cell->is_lock_free();
   }
+  /// Local scheduling hint for spin retries — never a step, never touches
+  /// shared memory. Replay is single-stepped by the sim scheduler: no-op
+  /// (yielding here would perturb nothing but wall time).
+  static void relax() noexcept {}
 
   // ---- arrays of 64-bit CAS words (per-process announce/result tables) ----
 

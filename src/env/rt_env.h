@@ -6,10 +6,14 @@
 // operations), binary cells keep their per-cache-line padding, and the CAS
 // base object is the 16-byte Atomic128 word (CMPXCHG16B via -mcx16).
 //
-// Every awaitable is Ready (never suspends), so an algorithm coroutine
-// instantiated with RtEnv runs to completion synchronously inside the call —
-// EagerTask is just the vehicle that lets the same coroutine body serve both
-// environments. GCC rarely elides the coroutine frame, so without help every
+// Every primitive executes its atomic access inside the primitive call
+// itself and returns a detail::Done awaiter that carries only the already-
+// computed result (never suspends), so an algorithm coroutine instantiated
+// with RtEnv runs to completion synchronously inside the call — EagerTask
+// is just the vehicle that lets the same coroutine body serve both
+// environments. Execute-at-call is deliberate, not a convenience: see the
+// detail::Done comment in env.h for the GCC miscompile that deferred
+// execution via argument-capturing Ready lambdas ran into. GCC rarely elides the coroutine frame, so without help every
 // operation/helper call would pay one heap allocation; instead EagerTask's
 // promise allocates its frame from a per-thread FrameArena (below), making
 // the steady-state hot path allocation-free. The arena lifecycle rules are
@@ -28,6 +32,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -295,16 +300,13 @@ struct RtEnv {
   /// read(A[index]) — one seq_cst atomic load; models 1 binary-register-read
   /// step of the paper's model. `index` is 1-based (the paper's A[v]).
   static auto read_bit(BinArray& array, std::uint32_t index) {
-    return detail::Ready{
-        [cell = &*array[index - 1]] { return rt::bin_read(*cell); }};
+    return detail::ready(rt::bin_read(*array[index - 1]));
   }
   /// write(A[index], value) — one seq_cst atomic store; 1 step.
   static auto write_bit(BinArray& array, std::uint32_t index,
                         std::uint8_t value) {
-    return detail::Ready{[cell = &*array[index - 1], value] {
-      rt::bin_write(*cell, value);
-      return true;
-    }};
+    rt::bin_write(*array[index - 1], value);
+    return detail::ready(true);
   }
   /// Observer-side peek — not an algorithm step; only meaningful at
   /// quiescence unless the caller tolerates racing reads.
@@ -379,24 +381,19 @@ struct RtEnv {
 
   /// Word load — one seq_cst atomic load; 1 step, 64 bins atomically.
   static auto load_packed_word(PackedBinArray& array, std::uint32_t w) {
-    return detail::Ready{
-        [word = &array.words[w]] { return rt::packed_load(*word); }};
+    return detail::ready(rt::packed_load(array.words[w]));
   }
   /// One LOCK OR; 1 step — sets every bin in `mask`.
   static auto or_packed_word(PackedBinArray& array, std::uint32_t w,
                              std::uint64_t mask) {
-    return detail::Ready{[word = &array.words[w], mask] {
-      rt::packed_or(*word, mask);
-      return true;
-    }};
+    rt::packed_or(array.words[w], mask);
+    return detail::ready(true);
   }
   /// One LOCK AND; 1 step — keeps only the bins in `mask`.
   static auto and_packed_word(PackedBinArray& array, std::uint32_t w,
                               std::uint64_t mask) {
-    return detail::Ready{[word = &array.words[w], mask] {
-      rt::packed_and(*word, mask);
-      return true;
-    }};
+    rt::packed_and(array.words[w], mask);
+    return detail::ready(true);
   }
   /// Observer-side peek — not an algorithm step.
   static std::uint64_t peek_packed_word(const PackedBinArray& array,
@@ -421,22 +418,18 @@ struct RtEnv {
 
   /// Read(X) — one seq_cst 16-byte atomic load; 1 step of the model.
   static auto cas_read(CasCell& cell) {
-    return detail::Ready{[&cell] { return rt::cas128_read(cell); }};
+    return detail::ready(rt::cas128_read(cell));
   }
   /// CAS(X, expected, desired) — one CMPXCHG16B; 1 step. Failure-word
   /// semantics come for free: compare_exchange writes the current word back
   /// into `expected` on failure, and that word is returned as `observed`.
   static auto cas(CasCell& cell, const Word& expected, const Word& desired) {
-    return detail::Ready{[&cell, expected, desired] {
-      return rt::cas128_cas(cell, expected, desired);
-    }};
+    return detail::ready(rt::cas128_cas(cell, expected, desired));
   }
   /// Write(X, desired) — one seq_cst 16-byte atomic store; 1 step.
   static auto cas_write(CasCell& cell, const Word& desired) {
-    return detail::Ready{[&cell, desired] {
-      rt::cas128_write(cell, desired);
-      return true;
-    }};
+    rt::cas128_write(cell, desired);
+    return detail::ready(true);
   }
   /// Observer-side peek — not an algorithm step.
   static Word peek_cas(const CasCell& cell) { return rt::cas128_read(cell); }
@@ -444,6 +437,10 @@ struct RtEnv {
   static bool cas_is_lock_free(const CasCell& cell) {
     return cell.word.is_lock_free();
   }
+  /// Local scheduling hint for spin retries — never a step, never touches
+  /// shared memory. On real threads, hand the core back so a preempted peer
+  /// (e.g. a flat-combining winner mid-phase) can finish.
+  static void relax() noexcept { std::this_thread::yield(); }
 
   // ---- arrays of 64-bit CAS words (per-process announce/result tables) ----
 
@@ -461,24 +458,19 @@ struct RtEnv {
 
   /// read(W[index]) — one seq_cst atomic load; 1 step.
   static auto read_word(WordArray& array, std::uint32_t index) {
-    return detail::Ready{
-        [cell = &*array[index]] { return rt::word_read(*cell); }};
+    return detail::ready(rt::word_read(*array[index]));
   }
   /// write(W[index], value) — one seq_cst atomic store; 1 step.
   static auto write_word(WordArray& array, std::uint32_t index,
                          std::uint64_t value) {
-    return detail::Ready{[cell = &*array[index], value] {
-      rt::word_write(*cell, value);
-      return true;
-    }};
+    rt::word_write(*array[index], value);
+    return detail::ready(true);
   }
   /// CAS(W[index], expected, desired) — one LOCK CMPXCHG; 1 step,
   /// failure-word semantics as for cas().
   static auto cas_word(WordArray& array, std::uint32_t index,
                        std::uint64_t expected, std::uint64_t desired) {
-    return detail::Ready{[cell = &*array[index], expected, desired] {
-      return rt::word_cas(*cell, expected, desired);
-    }};
+    return detail::ready(rt::word_cas(*array[index], expected, desired));
   }
   /// Observer-side peek — not an algorithm step.
   static std::uint64_t peek_word(const WordArray& array, std::uint32_t index) {

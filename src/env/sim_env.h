@@ -232,6 +232,9 @@ struct SimEnv {
   }
   /// The simulated CAS object is an atomic primitive by construction.
   static bool cas_is_lock_free(const CasCell&) { return true; }
+  /// Local scheduling hint for spin retries — never a step, never touches
+  /// shared memory. Meaningless under the sim scheduler: no-op.
+  static void relax() noexcept {}
 
   // ---- arrays of 64-bit CAS words (per-process announce/result tables) ----
 

@@ -33,14 +33,22 @@ class RtUniversal {
   using Op = typename S::Op;
   using Resp = typename S::Resp;
 
-  RtUniversal(const S& spec, int num_processes, bool clear_contexts = true)
-      : alg_(env::RtEnv::Ctx{}, spec, num_processes, clear_contexts) {}
+  /// `combine` enables the flat-combining batch mode (algo/universal.h
+  /// header comment): lock-free instead of wait-free, same quiescent image.
+  RtUniversal(const S& spec, int num_processes, bool clear_contexts = true,
+              bool combine = false)
+      : alg_(env::RtEnv::Ctx{}, spec, num_processes, clear_contexts, combine) {
+  }
 
   Resp apply(int pid, Op op) { return alg_.apply(pid, op).get(); }
   Resp apply_read_only(int pid, Op op) {
     return alg_.apply_read_only(pid, op).get();
   }
   Resp apply_update(int pid, Op op) { return alg_.apply_update(pid, op).get(); }
+  /// Test support (see algo/universal.h): park an announcement for `pid`.
+  bool announce_only(int pid, Op op) {
+    return alg_.announce_only(pid, op).get();
+  }
 
   // ---- Observer-side introspection (valid at quiescence) ----
 
@@ -60,6 +68,13 @@ class RtUniversal {
     }
     return image;
   }
+
+  // Batch instrumentation (bench-side: batch_size_mean = ops_combined /
+  // batches_installed). Read at rest — counters are owner-thread-written.
+  std::uint64_t batches_installed() const { return alg_.batches_installed(); }
+  std::uint64_t ops_combined() const { return alg_.ops_combined(); }
+  void reset_batch_stats() { alg_.reset_batch_stats(); }
+  bool combining_enabled() const { return alg_.combining_enabled(); }
 
   int num_processes() const { return alg_.num_processes(); }
   /// Bytes of shared storage (the bench's bytes_per_object input).

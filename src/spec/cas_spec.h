@@ -73,11 +73,13 @@ class CasSpec {
     return Op{static_cast<Kind>(word >> 30), (word >> 15) & 0x7fffu,
               word & 0x7fffu};
   }
+  // Responses fit 24 bits (the Word64HeadCodec rsp cap): success at bit 23,
+  // the read value (≤ 0xffff by the num_values bound) below it.
   std::uint32_t encode_resp(const Resp& resp) const {
-    return (resp.success ? 1u << 31 : 0u) | resp.value;
+    return (resp.success ? 1u << 23 : 0u) | resp.value;
   }
   Resp decode_resp(std::uint32_t word) const {
-    return Resp{(word >> 31) != 0, word & 0x7fffffffu};
+    return Resp{(word >> 23) != 0, word & 0x7fffffu};
   }
 
   std::vector<State> enumerate_states() const {

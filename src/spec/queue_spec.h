@@ -7,8 +7,12 @@
 // S(i1,i2) — implemented in src/adversary/queue_adversary.h on top of the
 // change_seq() hook below.
 //
-// Capacity is bounded by kMaxCapacity so states pack injectively into 64 bits
-// (8-bit length + up to 7 elements x 8 bits).
+// Capacity is bounded by kMaxCapacity so states pack injectively. For
+// domains ≤ 15 the packing is nibble-wide (4-bit length + up to 7 elements
+// x 4 bits = 32 bits), which keeps the encoded state inside the shared
+// 64-bit head word of the universal construction (algo::Word64HeadCodec
+// caps states at 32 bits on every backend); wider domains fall back to
+// byte packing (8-bit length + 7 x 8 bits) and fit 64-bit contexts only.
 #pragma once
 
 #include <cassert>
@@ -73,19 +77,22 @@ class QueueSpec {
 
   std::uint64_t encode_state(const State& state) const {
     assert(state.size() <= capacity_);
+    const std::size_t w = element_bits();
     std::uint64_t word = state.size();
     for (std::size_t i = 0; i < state.size(); ++i) {
-      word |= static_cast<std::uint64_t>(state[i]) << (8 * (i + 1));
+      word |= static_cast<std::uint64_t>(state[i]) << (w * (i + 1));
     }
     return word;
   }
 
   State decode_state(std::uint64_t word) const {
-    const std::size_t len = word & 0xff;
+    const std::size_t w = element_bits();
+    const std::size_t len = word & ((std::uint64_t{1} << w) - 1);
     assert(len <= capacity_);
     State state(len);
     for (std::size_t i = 0; i < len; ++i) {
-      state[i] = static_cast<std::uint8_t>((word >> (8 * (i + 1))) & 0xff);
+      state[i] = static_cast<std::uint8_t>((word >> (w * (i + 1))) &
+                                           ((std::uint64_t{1} << w) - 1));
     }
     return state;
   }
@@ -135,6 +142,10 @@ class QueueSpec {
   }
 
  private:
+  // Nibble-packing needs every element AND the length (≤ kMaxCapacity = 7)
+  // to fit 4 bits.
+  std::size_t element_bits() const { return domain_ <= 15 ? 4 : 8; }
+
   std::uint32_t domain_;
   std::size_t capacity_;
 };

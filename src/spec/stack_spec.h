@@ -66,21 +66,27 @@ class StackSpec {
 
   bool is_read_only(const Op& op) const { return op.kind == Kind::kTop; }
 
+  // Nibble packing for domains ≤ 15 (4-bit length + 7 x 4-bit elements =
+  // 32 bits, inside the Word64HeadCodec state cap), byte packing otherwise;
+  // same scheme as QueueSpec.
   std::uint64_t encode_state(const State& state) const {
     assert(state.size() <= capacity_);
+    const std::size_t w = element_bits();
     std::uint64_t word = state.size();
     for (std::size_t i = 0; i < state.size(); ++i) {
-      word |= static_cast<std::uint64_t>(state[i]) << (8 * (i + 1));
+      word |= static_cast<std::uint64_t>(state[i]) << (w * (i + 1));
     }
     return word;
   }
 
   State decode_state(std::uint64_t word) const {
-    const std::size_t len = word & 0xff;
+    const std::size_t w = element_bits();
+    const std::size_t len = word & ((std::uint64_t{1} << w) - 1);
     assert(len <= capacity_);
     State state(len);
     for (std::size_t i = 0; i < len; ++i) {
-      state[i] = static_cast<std::uint8_t>((word >> (8 * (i + 1))) & 0xff);
+      state[i] = static_cast<std::uint8_t>((word >> (w * (i + 1))) &
+                                           ((std::uint64_t{1} << w) - 1));
     }
     return state;
   }
@@ -113,6 +119,8 @@ class StackSpec {
   }
 
  private:
+  std::size_t element_bits() const { return domain_ <= 15 ? 4 : 8; }
+
   std::uint32_t domain_;
   std::size_t capacity_;
 };

@@ -138,6 +138,24 @@ struct BenchResult {
   /// applicable" and the field is omitted from the JSON — only suites whose
   /// rows all report it (waitfree_sim) gate on it.
   double slow_path_entry_rate = -1.0;
+  // Traffic-driver fields (util/traffic.h; docs/PERF.md "traffic schema").
+  // Each uses the same "negative means not-applicable, omitted from the
+  // JSON" convention as slow_path_entry_rate.
+  /// Ops/sec the arrival schedule asked for. Closed-loop rows report the
+  /// achieved rate here too (offered ≡ achieved when there is no schedule).
+  double offered_load = -1.0;
+  /// Ops/sec actually completed over the wall-clock window. On open-loop
+  /// rows achieved ≤ offered by construction (lateness accrues; the driver
+  /// never compresses inter-arrival gaps to catch up) — check_bench.py's
+  /// traffic suite gates on it.
+  double achieved_load = -1.0;
+  /// 99.9th-percentile completion latency; with p50/p99 this is the
+  /// JCT-style tail picture. -1 omits.
+  std::int64_t p999_ns = -1;
+  /// ops_combined / batches_installed for universal-construction rows:
+  /// exactly 1.0 with combine=false, > 1 when flat combining actually
+  /// batches under contention.
+  double batch_size_mean = -1.0;
 };
 
 /// Run `op(tid, i)` ops_per_thread times on each of `threads` threads,
@@ -262,6 +280,21 @@ class BenchReport {
         // path (1 in 25k ops) must stay nonzero in the JSON.
         std::fprintf(out, ", \"slow_path_entry_rate\": %.6g",
                      r.slow_path_entry_rate);
+      }
+      if (r.offered_load >= 0.0) {
+        std::fprintf(out, ", \"offered_load\": %.1f", r.offered_load);
+      }
+      if (r.achieved_load >= 0.0) {
+        std::fprintf(out, ", \"achieved_load\": %.1f", r.achieved_load);
+      }
+      if (r.p999_ns >= 0) {
+        std::fprintf(out, ", \"p999_ns\": %lld",
+                     static_cast<long long>(r.p999_ns));
+      }
+      if (r.batch_size_mean >= 0.0) {
+        // %.6g: a mean of 1.00004 (one two-op batch in 25k) must not round
+        // to a clean 1.0 — the gate reads this to prove combining engaged.
+        std::fprintf(out, ", \"batch_size_mean\": %.6g", r.batch_size_mean);
       }
       std::fprintf(out, "}%s\n", i + 1 < results_.size() ? "," : "");
     }

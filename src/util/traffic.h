@@ -1,0 +1,350 @@
+// Arrival-trace workload driver: production-shaped load for the rt objects
+// (ROADMAP item 3, in the spirit of Salus' experiment harness).
+//
+// measure_throughput (bench_json.h) answers "how fast can this object go?"
+// — a closed loop where every worker fires its next operation the moment
+// the previous one returns. Production traffic is not a closed loop: work
+// *arrives* on its own schedule, and the number a service owner cares about
+// is the completion-latency tail at a given offered load. This driver
+// provides that shape:
+//
+//   * open-loop arrivals — each worker pre-generates a deterministic
+//     arrival schedule (Poisson, bursty, or a replayed trace of
+//     inter-arrival gaps), waits for each arrival time, then issues the
+//     operation. A slow object does NOT slow the schedule down: lateness
+//     accrues and shows up in the latency tail, exactly like queueing
+//     delay in a real service. Latency is completion time minus *scheduled
+//     arrival* (JCT-style sojourn time, not bare service time).
+//   * closed-loop mode — the measure_throughput shape, for peak-capacity
+//     rows in the same report format.
+//   * per-class operation mix — each operation draws a weighted class
+//     (e.g. 90% reads / 10% updates); the report carries per-class
+//     percentile rows next to the aggregate.
+//
+// Two loads are reported (BenchResult.offered_load / achieved_load):
+// offered = total ops / schedule span, achieved = total ops / wall time.
+// Workers never issue before an arrival, so wall ≥ span and
+// achieved ≤ offered holds by construction on open-loop rows —
+// check_bench.py's traffic suite gates on it. When achieved is well below
+// offered, the object saturated: the row is an overload measurement and
+// its tail is dominated by queueing.
+//
+// Determinism: schedules and class picks come from seeded Xoshiro256
+// streams (one per worker, split from TrafficConfig::seed), so a row is
+// reproducible modulo actual hardware timing. The warmup phase runs
+// closed-loop and untimed; it brings the RtEnv frame arenas to steady
+// state so traffic rows keep the allocs_per_op == 0 contract.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/bench_json.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hi::util {
+
+enum class ArrivalProcess {
+  kClosedLoop,  // no schedule: fire as fast as the object allows
+  kPoisson,     // exponential inter-arrival gaps at the offered rate
+  kBursty,      // Poisson-mean-preserving bursts (see TrafficConfig)
+  kTrace,       // replay TrafficConfig::trace_gaps_ns, cycled
+};
+
+/// One operation class in the mix (e.g. {"read", 9.0}, {"update", 1.0}).
+struct TrafficClass {
+  std::string name;
+  double weight = 1.0;
+};
+
+struct TrafficConfig {
+  ArrivalProcess arrivals = ArrivalProcess::kClosedLoop;
+  /// Offered load for the WHOLE thread group, ops/sec (open-loop modes;
+  /// each worker offers offered_ops_per_sec / threads).
+  double offered_ops_per_sec = 0.0;
+  /// kBursty: bursts of `burst_len` arrivals at `burst_factor`× the mean
+  /// rate, each followed by one long gap that restores the mean — so the
+  /// offered load matches kPoisson at the same rate while the short-term
+  /// rate swings hard (the flat-combining sweet spot / the tail-latency
+  /// stress).
+  double burst_factor = 8.0;
+  std::size_t burst_len = 32;
+  /// kTrace: inter-arrival gaps in ns, cycled per worker.
+  std::vector<std::uint64_t> trace_gaps_ns;
+  std::uint64_t seed = 1;
+};
+
+/// Everything one traffic run produced. Aggregate + per-class latency
+/// samples; convert to BENCH rows with to_results().
+struct TrafficResult {
+  int threads = 1;
+  std::uint64_t total_ops = 0;
+  double wall_sec = 0.0;
+  double offered_load = 0.0;   // ops/sec the schedule asked for
+  double achieved_load = 0.0;  // ops/sec actually completed
+  double allocs_per_op = 0.0;
+  Samples latencies;                  // aggregate sojourn latencies, ns
+  std::vector<std::string> classes;   // mix class names
+  std::vector<Samples> per_class;     // same order as `classes`
+  std::vector<std::uint64_t> class_ops;
+
+  /// One aggregate BenchResult named `name`, then one per class named
+  /// `name.<class>` (only classes that ran). Every row carries the full
+  /// percentile triple and the load pair; allocs_per_op is the aggregate
+  /// rate on every row (the tally is per-thread, not per-class — a leak
+  /// anywhere fails every row, which is the right failure mode for the
+  /// gate). bytes_per_object and batch_size_mean are the caller's to set.
+  std::vector<BenchResult> to_results(const std::string& name) const {
+    std::vector<BenchResult> rows;
+    BenchResult agg;
+    agg.name = name;
+    agg.threads = threads;
+    agg.ops_per_sec = achieved_load;
+    agg.p50_ns = latencies.percentile(0.5);
+    agg.p99_ns = latencies.percentile(0.99);
+    agg.p999_ns = static_cast<std::int64_t>(latencies.percentile(0.999));
+    agg.allocs_per_op = allocs_per_op;
+    agg.offered_load = offered_load;
+    agg.achieved_load = achieved_load;
+    rows.push_back(agg);
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      if (per_class[c].empty()) continue;
+      BenchResult row = agg;
+      row.name = name + "." + classes[c];
+      row.ops_per_sec =
+          wall_sec > 0 ? static_cast<double>(class_ops[c]) / wall_sec : 0.0;
+      row.p50_ns = per_class[c].percentile(0.5);
+      row.p99_ns = per_class[c].percentile(0.99);
+      row.p999_ns = static_cast<std::int64_t>(per_class[c].percentile(0.999));
+      rows.push_back(row);
+    }
+    return rows;
+  }
+};
+
+/// Load a trace file of inter-arrival gaps: whitespace-separated
+/// nanosecond integers (blank lines and '#' comment lines skipped).
+inline std::vector<std::uint64_t> load_gaps_file(const std::string& path) {
+  std::vector<std::uint64_t> gaps;
+  std::ifstream in(path);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') {
+      std::getline(in, token);  // drop the rest of the comment line
+      continue;
+    }
+    gaps.push_back(std::strtoull(token.c_str(), nullptr, 10));
+  }
+  return gaps;
+}
+
+namespace traffic_detail {
+
+/// Uniform double in (0, 1] — open at 0 so -log() is finite.
+inline double uniform01(Xoshiro256& rng) {
+  return (static_cast<double>(rng.next() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+/// Pre-generate one worker's arrival offsets (ns since the start barrier).
+inline std::vector<std::uint64_t> make_schedule(const TrafficConfig& cfg,
+                                                int threads, std::size_t ops,
+                                                std::uint64_t worker_seed) {
+  std::vector<std::uint64_t> offsets;
+  if (cfg.arrivals == ArrivalProcess::kClosedLoop) return offsets;
+  offsets.reserve(ops);
+  Xoshiro256 rng(worker_seed);
+  const double mean_gap_ns =
+      1e9 * static_cast<double>(threads) / cfg.offered_ops_per_sec;
+  double t = 0.0;
+  std::size_t in_burst = 0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    double gap = 0.0;
+    switch (cfg.arrivals) {
+      case ArrivalProcess::kPoisson:
+        gap = -std::log(uniform01(rng)) * mean_gap_ns;
+        break;
+      case ArrivalProcess::kBursty: {
+        const double hot_gap = mean_gap_ns / cfg.burst_factor;
+        if (in_burst < cfg.burst_len) {
+          gap = -std::log(uniform01(rng)) * hot_gap;
+          ++in_burst;
+        } else {
+          // The recovery gap: what the whole burst saved, plus one mean
+          // gap, so each (burst_len + 1)-arrival cycle offers exactly the
+          // configured mean rate.
+          gap = static_cast<double>(cfg.burst_len) * (mean_gap_ns - hot_gap) +
+                mean_gap_ns;
+          in_burst = 0;
+        }
+        break;
+      }
+      case ArrivalProcess::kTrace:
+        assert(!cfg.trace_gaps_ns.empty());
+        gap = static_cast<double>(
+            cfg.trace_gaps_ns[i % cfg.trace_gaps_ns.size()]);
+        break;
+      case ArrivalProcess::kClosedLoop:
+        break;  // unreachable
+    }
+    t += gap;
+    offsets.push_back(static_cast<std::uint64_t>(t));
+  }
+  return offsets;
+}
+
+}  // namespace traffic_detail
+
+/// Drive `op(tid, class_index, i)` under the configured arrival process:
+/// `ops_per_thread` operations on each of `threads` workers, class drawn
+/// per-operation from the weighted `mix`. OpFn must be thread-safe across
+/// tids and is also used (class-rotating, untimed) for warmup.
+template <typename OpFn>
+TrafficResult run_traffic(int threads, std::size_t ops_per_thread,
+                          const TrafficConfig& cfg,
+                          const std::vector<TrafficClass>& mix, OpFn op) {
+  using Clock = std::chrono::steady_clock;
+  assert(!mix.empty());
+  assert(cfg.arrivals == ArrivalProcess::kClosedLoop ||
+         cfg.arrivals == ArrivalProcess::kTrace ||
+         cfg.offered_ops_per_sec > 0.0);
+
+  const std::size_t n_threads = static_cast<std::size_t>(threads);
+  const std::size_t n_classes = mix.size();
+  double total_weight = 0.0;
+  for (const TrafficClass& c : mix) total_weight += c.weight;
+
+  // Per-worker pre-generated schedules + class picks: nothing random and
+  // nothing allocating happens inside the measured window.
+  std::uint64_t seed_state = cfg.seed;
+  std::vector<std::vector<std::uint64_t>> schedules(n_threads);
+  std::vector<std::vector<std::uint32_t>> picks(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    schedules[t] = traffic_detail::make_schedule(cfg, threads, ops_per_thread,
+                                                 splitmix64(seed_state));
+    Xoshiro256 rng(splitmix64(seed_state));
+    picks[t].reserve(ops_per_thread);
+    for (std::size_t i = 0; i < ops_per_thread; ++i) {
+      double roll = traffic_detail::uniform01(rng) * total_weight;
+      std::uint32_t cls = 0;
+      for (std::size_t c = 0; c < n_classes; ++c) {
+        roll -= mix[c].weight;
+        if (roll <= 0.0) {
+          cls = static_cast<std::uint32_t>(c);
+          break;
+        }
+      }
+      picks[t].push_back(cls);
+    }
+  }
+
+  std::vector<std::vector<Samples>> worker_class(n_threads);
+  std::vector<std::uint64_t> allocs(n_threads, 0);
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  // The armed start time for the whole group, set just before release so
+  // every worker's schedule is anchored to the same instant.
+  std::atomic<std::int64_t> epoch_ns{0};
+
+  for (int tid = 0; tid < threads; ++tid) {
+    pool.emplace_back([&, tid] {
+      const std::size_t t = static_cast<std::size_t>(tid);
+      auto& samples = worker_class[t];
+      samples.resize(n_classes);
+      for (auto& s : samples) s.reserve(ops_per_thread);
+      // Closed-loop warmup, class-rotating: steady-states the frame arena
+      // for every op class before the tally arms.
+      const std::size_t warmup = std::min<std::size_t>(ops_per_thread, 1024);
+      for (std::size_t i = 0; i < warmup; ++i) {
+        op(tid, static_cast<std::uint32_t>(i % n_classes), i);
+      }
+      const AllocTally tally;
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      const auto epoch = Clock::time_point(
+          Clock::duration(epoch_ns.load(std::memory_order_acquire)));
+      const bool open_loop = !schedules[t].empty();
+      for (std::size_t i = 0; i < ops_per_thread; ++i) {
+        Clock::time_point issue;
+        if (open_loop) {
+          issue = epoch + std::chrono::nanoseconds(schedules[t][i]);
+          // Spin to the arrival; if we are already late the op issues
+          // immediately and the lateness lands in its sojourn latency.
+          while (Clock::now() < issue) {
+          }
+        } else {
+          issue = Clock::now();
+        }
+        const std::uint32_t cls = picks[t][i];
+        op(tid, cls, i);
+        const auto done = Clock::now();
+        samples[cls].add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(done - issue)
+                .count()));
+      }
+      allocs[t] = tally.allocs();
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < threads) {
+  }
+  const auto wall_start = Clock::now();
+  epoch_ns.store(wall_start.time_since_epoch().count(),
+                 std::memory_order_release);
+  go.store(true, std::memory_order_release);
+  for (auto& worker : pool) worker.join();
+  const auto wall_end = Clock::now();
+
+  TrafficResult result;
+  result.threads = threads;
+  result.total_ops = static_cast<std::uint64_t>(ops_per_thread) *
+                     static_cast<std::uint64_t>(threads);
+  result.wall_sec =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.classes.reserve(n_classes);
+  for (const TrafficClass& c : mix) result.classes.push_back(c.name);
+  result.per_class.resize(n_classes);
+  result.class_ops.assign(n_classes, 0);
+  std::uint64_t total_allocs = 0;
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    for (std::size_t c = 0; c < n_classes; ++c) {
+      result.class_ops[c] += worker_class[t][c].count();
+      result.per_class[c].merge(worker_class[t][c]);
+      result.latencies.merge(worker_class[t][c]);
+    }
+    total_allocs += allocs[t];
+  }
+  result.allocs_per_op = static_cast<double>(total_allocs) /
+                         static_cast<double>(result.total_ops);
+  result.achieved_load =
+      result.wall_sec > 0
+          ? static_cast<double>(result.total_ops) / result.wall_sec
+          : 0.0;
+  if (cfg.arrivals == ArrivalProcess::kClosedLoop) {
+    // No schedule: the loop offered exactly what it achieved.
+    result.offered_load = result.achieved_load;
+  } else {
+    // Schedule span = the last arrival across workers. Workers never issue
+    // an operation before its arrival, so wall ≥ span and
+    // achieved ≤ offered deterministically.
+    std::uint64_t span_ns = 1;
+    for (const auto& sched : schedules) {
+      if (!sched.empty()) span_ns = std::max(span_ns, sched.back());
+    }
+    result.offered_load = static_cast<double>(result.total_ops) /
+                          (static_cast<double>(span_ns) * 1e-9);
+  }
+  return result;
+}
+
+}  // namespace hi::util

@@ -9,9 +9,9 @@
 //     (compared via the spec's encode_resp);
 //   * the caller-supplied memory comparator runs after every event —
 //     snapshot_word_compare() for objects whose per-backend encodings are
-//     bit-identical (the binary-register algorithms, the standalone R-LLSC),
-//     a semantic comparator for the universal constructions whose head
-//     packing intentionally differs per backend.
+//     bit-identical: the binary-register algorithms, the standalone R-LLSC,
+//     and the universal constructions (every backend packs head/announce
+//     cells through the shared Word64HeadCodec).
 //
 // This is the concurrency analogue of the sequential parity suite
 // (tests/test_env_parity.cpp): any recorded sim interleaving — a random

@@ -1,22 +1,18 @@
 // Shared fixtures for the schedule-replay differential suites
 // (test_replay_equivalence.cpp, test_replay_fuzz.cpp,
 // test_replay_adversary.cpp): the R-LLSC spec-harness instantiations for
-// both backends, workload generators, and the semantic comparator for the
-// universal construction (whose head packing intentionally differs per
-// backend, so per-step comparison decodes every cell through its backend's
-// codec instead of comparing raw words). Single-source so a codec change
-// cannot silently weaken one suite's comparison while the other still
-// checks the old fields.
+// both backends and the workload generators. All object rows — including
+// the universal constructions, whose cells pack through the shared
+// Word64HeadCodec on every backend — compare memory word-for-word via
+// verify::snapshot_word_compare. Single-source so a workload change cannot
+// silently weaken one suite's coverage while the other still runs the old
+// mix.
 #pragma once
 
 #include <cstdint>
-#include <optional>
-#include <string>
 #include <vector>
 
 #include "algo/rllsc.h"
-#include "algo/universal.h"
-#include "algo/values.h"
 #include "env/sim_env.h"
 #include "register_common.h"
 #include "replay/replay_objects.h"
@@ -105,52 +101,6 @@ inline std::vector<std::vector<spec::CounterSpec::Op>> counter_workload(
     }
   }
   return workload;
-}
-
-/// Per-step semantic comparator for Algorithm 5: decode the head through
-/// each backend's RllscWordCodec, compare decoded head fields, context
-/// bitmasks, and announce-cell tags/payloads. Suitable mid-operation (the
-/// cells hold codec-corresponding values at every step of a lockstep run).
-template <typename SimUni, typename ReplayUni>
-auto universal_semantic_compare(const SimUni& sim_obj,
-                                const ReplayUni& replay_obj) {
-  return [&sim_obj, &replay_obj]() -> std::optional<std::string> {
-    using SimCodec = algo::RllscWordCodec<algo::RllscValue>;
-    using ReplayCodec = algo::RllscWordCodec<std::uint64_t>;
-    const auto sim_words = sim_obj.memory_words();
-    const auto replay_words = replay_obj.memory_words();
-    if (sim_words.size() != replay_words.size()) {
-      return std::string("cell count diverges");
-    }
-    const algo::HeadView sim_head = SimCodec::decode_head(sim_words[0].value);
-    const algo::HeadView replay_head =
-        ReplayCodec::decode_head(replay_words[0].value);
-    if (sim_head.state != replay_head.state ||
-        sim_head.has_response != replay_head.has_response ||
-        (sim_head.has_response && (sim_head.rsp != replay_head.rsp ||
-                                   sim_head.pid != replay_head.pid))) {
-      return std::string("decoded head diverges");
-    }
-    for (std::size_t i = 0; i < sim_words.size(); ++i) {
-      if (sim_words[i].ctx != replay_words[i].ctx) {
-        return "context bitmask diverges at cell " + std::to_string(i);
-      }
-    }
-    for (std::size_t i = 1; i < sim_words.size(); ++i) {
-      const auto& sim_cell = sim_words[i].value;
-      const auto& replay_cell = replay_words[i].value;
-      if (SimCodec::is_bottom(sim_cell) != ReplayCodec::is_bottom(replay_cell) ||
-          SimCodec::is_op(sim_cell) != ReplayCodec::is_op(replay_cell) ||
-          SimCodec::is_resp(sim_cell) != ReplayCodec::is_resp(replay_cell)) {
-        return "announce tag diverges at cell " + std::to_string(i);
-      }
-      if (!SimCodec::is_bottom(sim_cell) &&
-          SimCodec::payload(sim_cell) != ReplayCodec::payload(replay_cell)) {
-        return "announce payload diverges at cell " + std::to_string(i);
-      }
-    }
-    return std::nullopt;
-  };
 }
 
 }  // namespace hi::testing

@@ -565,21 +565,41 @@ TEST(EnvParity, LeakyUniversalCounter) {
   EXPECT_GT(sim_obj.version(), 0u);
 }
 
-// ---- Universal construction (Algorithm 5 over 6): the head/announce word
-// packings intentionally differ per backend (two-word sim values vs the
-// packed 64-bit hardware word), so parity here is semantic: responses, the
-// encoded abstract state, and the quiescent canonical invariants must agree
-// after every operation of an identical sequence. ----
+// ---- Universal construction (Algorithm 5 over 6): every backend packs the
+// head/announce tuples through the ONE Word64HeadCodec (a sim value is the
+// codec word in lo with hi ≡ 0), so parity is word-exact: after every
+// operation of an identical sequence, the sim memory_words() and the rt
+// memory_image() are the same ⟨value, ctx⟩ vector. ----
 
-TEST(EnvParity, UniversalCounter) {
+/// Word-for-word comparison of the sim and rt universal memory images.
+template <typename SimObj, typename RtObj>
+void expect_universal_words_equal(const SimObj& sim_obj, const RtObj& rt_obj,
+                                  int at) {
+  const auto sim_words = sim_obj.memory_words();
+  const auto rt_words = rt_obj.memory_image();
+  ASSERT_EQ(sim_words.size(), rt_words.size());
+  for (std::size_t i = 0; i < sim_words.size(); ++i) {
+    EXPECT_EQ(sim_words[i].value.lo, rt_words[i].value)
+        << "word " << i << " value diverges at " << at;
+    EXPECT_EQ(sim_words[i].value.hi, 0u)
+        << "sim hi half must stay zero (Word64HeadCodec contract)";
+    EXPECT_EQ(sim_words[i].ctx, rt_words[i].ctx)
+        << "word " << i << " context diverges at " << at;
+  }
+}
+
+/// Shared body for the plain and combining universal parity rows.
+void universal_parity(bool combine, std::uint64_t seed) {
   const spec::CounterSpec spec(1u << 20, 10);
   const int n = 4;
   sim::Memory memory;
   sim::Scheduler sched(n);
-  core::Universal<spec::CounterSpec, core::CasRllsc> sim_obj(memory, spec, n);
-  rt::RtUniversal<spec::CounterSpec> rt_obj(spec, n);
+  core::Universal<spec::CounterSpec, core::CasRllsc> sim_obj(
+      memory, spec, n, /*clear_contexts=*/true, combine);
+  rt::RtUniversal<spec::CounterSpec> rt_obj(spec, n, /*clear_contexts=*/true,
+                                            combine);
 
-  util::Xoshiro256 rng(51);
+  util::Xoshiro256 rng(seed);
   for (int step = 0; step < 300; ++step) {
     const int pid = static_cast<int>(rng.next_below(n));
     spec::CounterSpec::Op op;
@@ -594,13 +614,68 @@ TEST(EnvParity, UniversalCounter) {
     EXPECT_EQ(sim_obj.head_state_encoded(), rt_obj.head_state_encoded());
     EXPECT_FALSE(sim_obj.head_has_response());
     EXPECT_FALSE(rt_obj.head_has_response());
-    EXPECT_EQ(sim_obj.context_union(), 0u);
-    EXPECT_EQ(rt_obj.context_union(), 0u);
-    for (int i = 0; i < n; ++i) {
-      EXPECT_TRUE(sim_obj.announce_is_bottom(i));
-      EXPECT_TRUE(rt_obj.announce_is_bottom(i));
-    }
+    expect_universal_words_equal(sim_obj, rt_obj, step);
   }
+  // Batch accounting marches in lockstep too (sequential solo updates are
+  // batches of one in both modes, on both backends).
+  EXPECT_EQ(sim_obj.batches_installed(), rt_obj.batches_installed());
+  EXPECT_EQ(sim_obj.ops_combined(), rt_obj.ops_combined());
+  EXPECT_EQ(sim_obj.ops_combined(), sim_obj.batches_installed());
+  EXPECT_GT(sim_obj.batches_installed(), 0u);
+}
+
+TEST(EnvParity, UniversalCounter) { universal_parity(/*combine=*/false, 51); }
+
+TEST(EnvParity, UniversalCombineCounter) {
+  universal_parity(/*combine=*/true, 52);
+}
+
+TEST(EnvParity, UniversalCombineForcedBatchScript) {
+  // Deterministic batch on BOTH backends: park announcements for p0 and p1
+  // (the announce_only test hook = line 4 then stall), then run p2's
+  // increment to completion. The winner sweep must apply all three ops in
+  // one install on each backend, leave the identical memory image, and pin
+  // the helped responses in the announce cells — whose expected words come
+  // straight from Word64HeadCodec (10 and 11: the batch folds ascending
+  // pid from initial state 10).
+  const spec::CounterSpec spec(1u << 20, 10);
+  const int n = 3;
+  sim::Memory memory;
+  sim::Scheduler sched(n);
+  core::Universal<spec::CounterSpec, core::CasRllsc> sim_obj(
+      memory, spec, n, /*clear_contexts=*/true, /*combine=*/true);
+  rt::RtUniversal<spec::CounterSpec> rt_obj(spec, n, /*clear_contexts=*/true,
+                                            /*combine=*/true);
+
+  for (int pid : {0, 1}) {
+    (void)sim::run_solo(sched, pid,
+                        sim_obj.announce_only(pid, spec::CounterSpec::inc()));
+    (void)rt_obj.announce_only(pid, spec::CounterSpec::inc());
+  }
+  expect_universal_words_equal(sim_obj, rt_obj, -1);
+
+  const auto sim_resp =
+      sim::run_solo(sched, 2, sim_obj.apply(2, spec::CounterSpec::inc()));
+  const auto rt_resp = rt_obj.apply(2, spec::CounterSpec::inc());
+  EXPECT_EQ(sim_resp, 12u);
+  EXPECT_EQ(rt_resp, 12u);
+
+  EXPECT_EQ(sim_obj.batches_installed(), 1u);
+  EXPECT_EQ(sim_obj.ops_combined(), 3u);
+  EXPECT_EQ(rt_obj.batches_installed(), 1u);
+  EXPECT_EQ(rt_obj.ops_combined(), 3u);
+  EXPECT_EQ(sim_obj.head_state_encoded(), 13u);
+  EXPECT_EQ(rt_obj.head_state_encoded(), 13u);
+
+  // The helped responses sit in the parked cells, bit-exactly as the codec
+  // specifies, with clean contexts; p2's own cell is back to ⊥.
+  const auto rt_words = rt_obj.memory_image();
+  ASSERT_EQ(rt_words.size(), 4u);  // head + 3 announce cells
+  EXPECT_EQ(rt_words[1].value, algo::Word64HeadCodec::announce_resp(10));
+  EXPECT_EQ(rt_words[2].value, algo::Word64HeadCodec::announce_resp(11));
+  EXPECT_EQ(rt_words[3].value, algo::Word64HeadCodec::bottom());
+  for (const auto& word : rt_words) EXPECT_EQ(word.ctx, 0u);
+  expect_universal_words_equal(sim_obj, rt_obj, -2);
 }
 
 }  // namespace

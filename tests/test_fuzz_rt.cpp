@@ -69,13 +69,15 @@ constexpr int kDefaultIters = 20;
 /// fresh object, per-(seed, pid) deterministic op scripts, barrier-released
 /// armed threads, a solo audit phase pinning the final abstract state (see
 /// file comment), then a linearizability check over the extended history
-/// and a caller-supplied final check (witness replay, invariants).
+/// and a caller-supplied final check (witness replay, invariants). `policy`
+/// tunes the injection aggressiveness (default: the gentle CI policy).
 template <typename S, typename ScriptGen, typename MakeObject, typename RunOp,
           typename Audit, typename FinalCheck>
 void fuzz_object_suite(const char* name, const S& spec, int num_threads,
                        std::uint64_t seed0, ScriptGen&& script_gen,
                        MakeObject&& make_object, RunOp&& run_op, Audit&& audit,
-                       FinalCheck&& final_check) {
+                       FinalCheck&& final_check,
+                       env::YieldPolicy policy = env::YieldPolicy{}) {
   using Op = typename S::Op;
   using Resp = typename S::Resp;
   const int iters = testing::rt_fuzz_iters(kDefaultIters);
@@ -91,7 +93,7 @@ void fuzz_object_suite(const char* name, const S& spec, int num_threads,
       scripts[static_cast<std::size_t>(pid)] = script_gen(pid, rng);
     }
     testing::RtHistoryRecorder<Op, Resp> recorder(num_threads);
-    testing::run_fuzz_threads(num_threads, seed, env::YieldPolicy{},
+    testing::run_fuzz_threads(num_threads, seed, policy,
                               [&](int pid) {
                                 for (const Op& op :
                                      scripts[static_cast<std::size_t>(pid)]) {
@@ -662,6 +664,64 @@ TEST(FuzzRt, UniversalCounter_LinearizableAndQuiescentCanonical) {
               << "announce[" << pid << "] leaked at seed " << seed;
         }
       });
+}
+
+TEST(FuzzRt, UniversalCombineCounter_AggressiveYieldsLinearizableAndQuiescentCanonical) {
+  // Flat-combining mode on real threads under the AGGRESSIVE injection
+  // policy (the positive control's knobs): yields inside the winner's
+  // announce scan park it mid-combining-phase, forcing peers through the
+  // foreign-combining-record spin (Env::relax) and piling announcements up
+  // for the next batch. Post-checks are the same audit-pinned
+  // quiescent-image contract as plain mode — the combining record, the
+  // helped responses, and the batch bookkeeping must all be gone at rest,
+  // leaving the canonical head/⊥/ctx-free image — plus batch-counter
+  // sanity: every update is combined into exactly one installed batch.
+  const int n = 3;
+  const spec::CounterSpec spec(1u << 20, 10);
+  const env::YieldPolicy aggressive{/*permille=*/700, /*max_yields=*/4,
+                                    /*max_spins=*/64};
+  using Alg = algo::UniversalAlg<FuzzEnv, spec::CounterSpec,
+                                 algo::CasRllscAlg<FuzzEnv>>;
+  fuzz_object_suite(
+      "universal-combine-counter", spec, n, 0xa10b,
+      [&](int, util::Xoshiro256& rng) { return counter_script(5, rng); },
+      [&] {
+        return std::make_unique<Alg>(FuzzEnv::Ctx{}, spec, n,
+                                     /*clear_contexts=*/true,
+                                     /*combine=*/true);
+      },
+      [](Alg& obj, int pid, const spec::CounterSpec::Op& op) {
+        return obj.apply(pid, op).get();
+      },
+      [](Alg& obj, auto& recorder) {
+        recorder.run(0, spec::CounterSpec::read(),
+                     [&] { return obj.apply(0, spec::CounterSpec::read()).get(); });
+      },
+      [&](Alg& obj, const auto& hist, const std::vector<std::size_t>& witness,
+          std::uint64_t seed) {
+        const auto final_state = witness_final_state(spec, hist, witness);
+        EXPECT_EQ(obj.head_state_encoded(), spec.encode_state(final_state))
+            << "head diverges from the witness's final state at seed " << seed;
+        EXPECT_FALSE(obj.head_has_response()) << "seed " << seed;
+        EXPECT_EQ(obj.context_union(), 0u) << "seed " << seed;
+        for (int pid = 0; pid < n; ++pid) {
+          EXPECT_TRUE(obj.announce_is_bottom(pid))
+              << "announce[" << pid << "] leaked at seed " << seed;
+        }
+        // Batch accounting: every non-read-only op in the history was
+        // applied in exactly one installed batch; batches never exceed ops.
+        std::uint64_t updates = 0;
+        for (const auto& e : hist.entries()) {
+          if (e.op.kind != spec::CounterSpec::Kind::kRead) ++updates;
+        }
+        EXPECT_EQ(obj.ops_combined(), updates) << "seed " << seed;
+        EXPECT_LE(obj.batches_installed(), obj.ops_combined())
+            << "seed " << seed;
+        if (updates > 0) {
+          EXPECT_GE(obj.batches_installed(), 1u) << "seed " << seed;
+        }
+      },
+      aggressive);
 }
 
 TEST(FuzzRt, LeakyUniversalCounter_Linearizable) {

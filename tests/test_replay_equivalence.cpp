@@ -233,10 +233,10 @@ TEST(ReplayEquivalence, RllscRecordedSchedules) {
   }
 }
 
-// ---- Universal constructions: heads pack differently per backend (two-word
-// sim values vs the packed 64-bit hardware word), so the per-step comparison
-// decodes every cell through its backend's codec
-// (testing::universal_semantic_compare, replay_common.h). ----
+// ---- Universal constructions: every backend packs head and announce cells
+// through Word64HeadCodec (the sim adapter keeps the codec word in lo with
+// hi ≡ 0), so the per-step comparison is word-exact —
+// verify::snapshot_word_compare, like the register rows. ----
 
 TEST(ReplayEquivalence, UniversalRecordedSchedules) {
   const spec::CounterSpec spec(1u << 20, 10);
@@ -262,7 +262,7 @@ TEST(ReplayEquivalence, UniversalRecordedSchedules) {
 
     const verify::ReplayReport report = verify::replay_differential(
         spec, sim_sched, sim_impl, replay_sched, replay_impl, workload, trace,
-        testing::universal_semantic_compare(sim_impl, replay_impl));
+        verify::snapshot_word_compare(sim_memory, replay_memory));
     EXPECT_TRUE(report.ok)
         << report.message << "\ntrace:\n" << trace.pretty();
     EXPECT_EQ(report.responses_compared, static_cast<std::uint64_t>(n) * 4);

@@ -315,10 +315,15 @@ TEST(ReplayFuzz, Rllsc) {
   }
 }
 
-// ---- universal constructions (semantic comparators — per-backend head
-// packings differ by design; testing::universal_semantic_compare) ----
+// ---- universal constructions (word-exact — every backend packs head and
+// announce cells through Word64HeadCodec, with the sim adapter keeping the
+// codec word in lo and hi ≡ 0, so verify::snapshot_word_compare applies;
+// the layout is pinned by tests/test_head_codec.cpp) ----
 
-TEST(ReplayFuzz, Universal) {
+/// Shared body for the Algorithm 5 replay-fuzz rows: ≥64 seeds (see
+/// fuzz_seeds) of random counter workloads, per-step word-exact memory
+/// comparison, in plain or flat-combining mode.
+void fuzz_universal(bool combine) {
   const spec::CounterSpec spec(1u << 20, 10);
   const int n = 3;
   using SimUni = core::Universal<spec::CounterSpec, core::CasRllsc>;
@@ -327,15 +332,19 @@ TEST(ReplayFuzz, Universal) {
     const auto workload = testing::counter_workload(n, 3, seed);
     const auto failure = fuzz_once<spec::CounterSpec, SimUni, ReplayUni>(
         spec, n, workload, seed,
-        [&](sim::Memory& m) { return SimUni(m, spec, n); },
-        [&](sim::Memory& m) { return ReplayUni(m, spec, n); },
-        [](const sim::Memory&, const SimUni& sim_obj, const sim::Memory&,
-           const ReplayUni& replay_obj) {
-          return testing::universal_semantic_compare(sim_obj, replay_obj);
-        });
+        [&](sim::Memory& m) {
+          return SimUni(m, spec, n, /*clear_contexts=*/true, combine);
+        },
+        [&](sim::Memory& m) {
+          return ReplayUni(m, spec, n, /*clear_contexts=*/true, combine);
+        },
+        word_compare);
     ASSERT_FALSE(failure.has_value()) << *failure;
   }
 }
+
+TEST(ReplayFuzz, Universal) { fuzz_universal(/*combine=*/false); }
+TEST(ReplayFuzz, UniversalCombine) { fuzz_universal(/*combine=*/true); }
 
 TEST(ReplayFuzz, LeakyUniversal) {
   const spec::CounterSpec spec(1u << 20, 10);

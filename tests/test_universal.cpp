@@ -310,6 +310,113 @@ TEST(UniversalModes, HeadAlternatesBetweenAAndBModes) {
   EXPECT_FALSE(sys.object.head_has_response());
 }
 
+TEST(UniversalCombining, WinnerSweepsStalledAnnouncesInOneInstall) {
+  // Flat-combining mode, step-exact: p0 and p1 announce increments and
+  // stall; p2 then runs one increment solo. Its combining pass must sweep
+  // all three announced ops into ONE installed transition (batch of 3),
+  // publish every response, and leave head in mode A.
+  using S = spec::CounterSpec;
+  UniversalSystem<S, CasRllsc> sys(3, /*clear_contexts=*/true,
+                                   /*combine=*/true);
+
+  sim::OpTask<S::Resp> stalled0 = sys.object.apply(0, S::inc());
+  sys.sched.start(0, stalled0);
+  sys.sched.step(0);  // p0 executes only its announcement Store (line 4)
+  sim::OpTask<S::Resp> stalled1 = sys.object.apply(1, S::inc());
+  sys.sched.start(1, stalled1);
+  sys.sched.step(1);
+
+  const std::uint64_t steps_before = sys.sched.steps_of(2);
+  const auto resp2 = sim::run_solo(sys.sched, 2, sys.object.apply(2, S::inc()));
+  const std::uint64_t winner_steps = sys.sched.steps_of(2) - steps_before;
+
+  // One install covering three operations, folded in ascending pid order
+  // from initial state 10: p0 sees 10, p1 sees 11, p2 sees 12.
+  EXPECT_EQ(sys.object.batches_installed(), 1u);
+  EXPECT_EQ(sys.object.ops_combined(), 3u);
+  EXPECT_EQ(sys.object.head_state_encoded(), 13u);
+  EXPECT_EQ(resp2, 12u);
+  // Step-exact (CasRllsc backend): announce Store 1 + line-5 Load 1 +
+  // head LL 2 + scan n=3 Loads + combining SC 2 + k=3 response Stores +
+  // head-clearing Store 1 + line-5 re-Load 1 + line-24 Load 1 +
+  // line-25 LL 2 + line-27 RL 2 + line-28 Store 1 = 20.
+  EXPECT_EQ(winner_steps, 20u);
+
+  // The stalled processes wake, find their responses, and finish promptly
+  // without installing anything further.
+  for (int pid : {0, 1}) {
+    std::uint64_t steps = 0;
+    while (!sys.sched.op_finished(pid)) {
+      ASSERT_LT(steps, 20u) << "swept process did not finish promptly";
+      ASSERT_TRUE(sys.sched.runnable(pid));
+      sys.sched.step(pid);
+      ++steps;
+    }
+    sys.sched.finish(pid);
+  }
+  EXPECT_EQ(stalled0.take_result(), 10u);
+  EXPECT_EQ(stalled1.take_result(), 11u);
+  EXPECT_EQ(sys.object.batches_installed(), 1u);
+  EXPECT_EQ(sys.object.ops_combined(), 3u);
+
+  // Quiescent memory is canonical: the combining excursion leaves no trace.
+  EXPECT_TRUE(sys.object.announce_is_bottom(0));
+  EXPECT_TRUE(sys.object.announce_is_bottom(1));
+  EXPECT_TRUE(sys.object.announce_is_bottom(2));
+  EXPECT_EQ(sys.object.context_union(), 0u);
+  EXPECT_FALSE(sys.object.head_has_response());
+}
+
+TYPED_TEST(UniversalTyped, CombiningLinearizableAndQuiescentHi) {
+  // combine=true over every spec x cell combo: batching changes how many
+  // operations one install covers, never what the history linearizes to or
+  // what quiescent memory looks like. Also checks the batch accounting:
+  // every completed update flows through exactly one install.
+  using S = typename TypeParam::Spec;
+  verify::HiChecker checker;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const int n = 3;
+    UniversalSystem<S, typename TypeParam::CellT> sys(n,
+                                                      /*clear_contexts=*/true,
+                                                      /*combine=*/true);
+    ASSERT_TRUE(sys.object.combining_enabled());
+    sim::Runner<S, core::Universal<S, typename TypeParam::CellT>> runner(
+        sys.spec, sys.memory, sys.sched, sys.object, [&](const auto&) {
+          // State-quiescent oracle: canonical invariants must survive
+          // combining (Lemmas 26, 27 arguments carry over).
+          EXPECT_FALSE(sys.object.head_has_response());
+          EXPECT_EQ(sys.object.context_union(), 0u);
+          for (int pid = 0; pid < n; ++pid) {
+            EXPECT_TRUE(sys.object.announce_is_bottom(pid));
+          }
+          return sys.object.head_state_encoded();
+        });
+    const auto work = universal_workload<S>(n, 12, seed * 53);
+    std::uint64_t updates = 0;
+    for (const auto& ops : work) {
+      for (const auto& op : ops) updates += sys.spec.is_read_only(op) ? 0 : 1;
+    }
+    auto result = runner.run(work, {.seed = seed * 29 + 1});
+    ASSERT_FALSE(result.timed_out) << "seed=" << seed;
+    ASSERT_EQ(result.history.num_pending(), 0u);
+
+    const auto final_state =
+        sys.spec.decode_state(sys.object.head_state_encoded());
+    EXPECT_TRUE(verify::LinearizabilityChecker<S>(sys.spec)
+                    .check(result.history, final_state)
+                    .ok())
+        << "seed=" << seed;
+    EXPECT_EQ(sys.object.ops_combined(), updates);
+    EXPECT_LE(sys.object.batches_installed(), sys.object.ops_combined());
+    EXPECT_GE(sys.object.batches_installed(), 1u);
+    for (const auto& obs : result.state_quiescent) {
+      checker.observe(obs.state, obs.mem, "seed=" + std::to_string(seed));
+    }
+  }
+  EXPECT_TRUE(checker.consistent()) << checker.violation()->message();
+  EXPECT_GT(checker.num_observations(), 10u);
+}
+
 TEST(UniversalAblation, WithoutContextClearingHiBreaks) {
   // E14 ablation (a): drop the red RL lines. The run still linearizes, but
   // quiescent memory retains context bits — exactly the counter example the

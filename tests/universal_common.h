@@ -124,10 +124,11 @@ struct UniversalSystem {
   sim::Scheduler sched;
   core::Universal<S, Cell> object;
 
-  explicit UniversalSystem(int num_procs, bool clear_contexts = true)
+  explicit UniversalSystem(int num_procs, bool clear_contexts = true,
+                           bool combine = false)
       : spec(SpecTraits<S>::make()),
         sched(num_procs),
-        object(memory, spec, num_procs, clear_contexts) {}
+        object(memory, spec, num_procs, clear_contexts, combine) {}
 };
 
 }  // namespace hi::testing

@@ -27,14 +27,18 @@ Three responsibilities (docs/PERF.md "How CI consumes the artifacts"):
 3. REPORT ONLY — per-row deltas (ops/sec and bytes_per_object) for trend
    reading in the log.
 
-The sharded suite additionally carries structural bounds (footprint vs the
-domain/8 bitmap floor, shard-count throughput scaling on multi-core hosts)
-— see check_sharded_suite below and docs/PERF.md "Reading the sharded rows".
+Some suites carry additional structural bounds: sharded (footprint vs
+the domain/8 bitmap floor, shard-count throughput scaling on multi-core
+hosts — check_sharded_suite, docs/PERF.md "Reading the sharded rows"),
+waitfree_sim (slow_path_entry_rate presence/range, the forced-slow pin —
+check_waitfree_sim_suite), and traffic (percentile ordering, the
+batch_size_mean floor, open-loop pacing — check_traffic_suite,
+docs/PERF.md "Reading the traffic rows").
 
 --self-test exercises every gate against synthetic documents (schema,
-alloc gate, sharded naming/footprint/scaling/skip logic, throughput
-warnings) and exits nonzero if any gate misbehaves; CI runs it so the
-checker itself is under test.
+alloc gate, sharded naming/footprint/scaling/skip logic, waitfree_sim
+rates, traffic bounds, throughput warnings) and exits nonzero if any
+gate misbehaves; CI runs it so the checker itself is under test.
 """
 
 import argparse
@@ -44,7 +48,7 @@ import os
 import sys
 
 DEFAULT_SUITES = ["registers", "rllsc", "universal", "max_register", "hi_set",
-                  "sharded", "waitfree_sim"]
+                  "sharded", "waitfree_sim", "traffic"]
 
 REQUIRED_ROW_KEYS = ("name", "threads", "ops_per_sec", "p50_ns", "p99_ns",
                      "allocs_per_op", "bytes_per_object")
@@ -193,6 +197,62 @@ def check_waitfree_sim_suite(doc):
             failures.append(
                 f"{name}: slow_path_entry_rate={rate} but fast_limit=0 "
                 "forces EVERY op through the slow path (must be exactly 1.0)")
+    return failures
+
+
+def check_traffic_suite(doc):
+    """Traffic-driver suite bounds (bench/bench_traffic.cpp, docs/PERF.md
+    "Reading the traffic rows"):
+
+    * latency percentiles must be ordered on EVERY row: p50 ≤ p99, and
+      p99 ≤ p999 whenever p999_ns is present — a violation means the
+      sojourn-histogram extraction is broken, not that the host was slow;
+
+    * batch_size_mean, when present, must be ≥ 1 (an installed batch
+      carries at least the winner's own op), and it MUST be present on
+      combining rows ("combine" in the row name) — those rows exist to
+      measure batching, so a missing field means the emitter and the gate
+      drifted apart;
+
+    * open-loop rows ("open" in the row name) must report offered_load and
+      achieved_load with achieved ≤ 1.02 × offered — the open-loop driver
+      paces arrivals at the offered rate, so achieving materially MORE
+      than offered means the pacing or the accounting is broken. The 2%
+      slack absorbs clock-edge jitter on short runs; closed-loop rows
+      carry no offered/achieved contract (the loop itself is the pacer).
+    """
+    failures = []
+    for row in doc.get("results", []):
+        name = row.get("name", "?")
+        p50, p99 = row.get("p50_ns"), row.get("p99_ns")
+        p999 = row.get("p999_ns")
+        if isinstance(p50, (int, float)) and isinstance(p99, (int, float)):
+            if p50 > p99:
+                failures.append(f"{name}: p50_ns={p50} > p99_ns={p99}")
+            if isinstance(p999, (int, float)) and p99 > p999:
+                failures.append(f"{name}: p99_ns={p99} > p999_ns={p999}")
+        batch = row.get("batch_size_mean")
+        if batch is not None:
+            if not isinstance(batch, (int, float)) or batch < 1.0:
+                failures.append(
+                    f"{name}: batch_size_mean={batch!r} below 1 — a batch "
+                    "installs at least the winner's own op")
+        elif "combine" in name:
+            failures.append(
+                f"{name}: combining row is missing batch_size_mean")
+        if "open" in name:
+            offered = row.get("offered_load")
+            achieved = row.get("achieved_load")
+            if not isinstance(offered, (int, float)) or \
+                    not isinstance(achieved, (int, float)):
+                failures.append(
+                    f"{name}: open-loop row missing offered_load/"
+                    "achieved_load")
+            elif achieved > 1.02 * offered:
+                failures.append(
+                    f"{name}: achieved_load={achieved:.0f} exceeds "
+                    f"offered_load={offered:.0f} by more than 2% — the "
+                    "open-loop pacer or the accounting is broken")
     return failures
 
 
@@ -360,6 +420,55 @@ def self_test():
                            slow_path_entry_rate=0.4)])),
            "waitfree_sim: forced_slow_read below 1.0 fails")
 
+    # Traffic suite: percentile ordering / batch floor / open-loop pacing.
+    traffic_good = _synthetic_doc("traffic", [
+        _synthetic_row("traffic/closed_contended_combine", p999_ns=900,
+                       batch_size_mean=1.7),
+        _synthetic_row("traffic/closed_contended_plain", p999_ns=900),
+        _synthetic_row("traffic/open_poisson_combine", p999_ns=900,
+                       batch_size_mean=1.0, offered_load=2e5,
+                       achieved_load=1.99e5),
+    ])
+    expect(not check_traffic_suite(traffic_good),
+           "traffic: ordered percentiles, batch >= 1, achieved <= offered "
+           "pass")
+    expect(check_traffic_suite(
+        _synthetic_doc("traffic", [
+            _synthetic_row("traffic/closed_contended_plain", p50_ns=600)])),
+           "traffic: p50 above p99 fails")
+    expect(check_traffic_suite(
+        _synthetic_doc("traffic", [
+            _synthetic_row("traffic/closed_contended_plain", p999_ns=400)])),
+           "traffic: p99 above p999 fails")
+    expect(check_traffic_suite(
+        _synthetic_doc("traffic", [
+            _synthetic_row("traffic/closed_contended_combine", p999_ns=900,
+                           batch_size_mean=0.5)])),
+           "traffic: batch_size_mean below 1 fails")
+    expect(check_traffic_suite(
+        _synthetic_doc("traffic", [
+            _synthetic_row("traffic/closed_contended_combine",
+                           p999_ns=900)])),
+           "traffic: a combining row missing batch_size_mean fails")
+    expect(not check_traffic_suite(
+        _synthetic_doc("traffic", [
+            _synthetic_row("traffic/closed_contended_plain", p999_ns=900)])),
+           "traffic: a plain row may omit batch_size_mean")
+    expect(check_traffic_suite(
+        _synthetic_doc("traffic", [
+            _synthetic_row("traffic/open_poisson_plain", p999_ns=900)])),
+           "traffic: an open-loop row missing offered/achieved fails")
+    expect(check_traffic_suite(
+        _synthetic_doc("traffic", [
+            _synthetic_row("traffic/open_poisson_plain", p999_ns=900,
+                           offered_load=2e5, achieved_load=2.1e5)])),
+           "traffic: achieved_load above 1.02x offered_load fails")
+    expect(not check_traffic_suite(
+        _synthetic_doc("traffic", [
+            _synthetic_row("traffic/open_poisson_plain", p999_ns=900,
+                           offered_load=2e5, achieved_load=2.03e5)])),
+           "traffic: achieved within the 2% jitter slack passes")
+
     # Throughput warnings.
     fresh = _synthetic_doc("registers",
                            [_synthetic_row("w/1", ops_per_sec=8e5)])
@@ -443,6 +552,9 @@ def main():
         if suite == "waitfree_sim":
             failures.extend(
                 f"waitfree_sim: {f}" for f in check_waitfree_sim_suite(fresh))
+        if suite == "traffic":
+            failures.extend(
+                f"traffic: {f}" for f in check_traffic_suite(fresh))
 
         baseline = None
         if args.baseline:
