@@ -54,11 +54,12 @@ class CasRllscAlg {
   /// expectation — one primitive per retry, no separate re-read.
   Sub<V> ll(int pid) {
     Word cur = co_await Env::cas_read(cell_);
-    for (;;) {
+    for (std::uint32_t attempt = 0;; ++attempt) {
       Word linked = cur;
       linked.ctx = util::set_bit(linked.ctx, bit(pid));
       const CasResult<Word> r = co_await Env::cas(cell_, cur, linked);
       if (r.installed) co_return cur.value;
+      Env::backoff(attempt);  // local wait only; no step (env.h)
       cur = r.observed;
     }
   }
@@ -67,7 +68,9 @@ class CasRllscAlg {
   /// attempt run one poll; a true poll abandons the LL and yields nullopt.
   /// `poll` is a nullary callable returning an awaitable of bool. The next
   /// attempt reuses the failed CAS's observed word (any write racing with
-  /// the poll just fails that CAS, which re-observes).
+  /// the poll just fails that CAS, which re-observes). No Env::backoff
+  /// here: a local wait before the poll would only delay noticing the bail
+  /// condition (a helped response) the `‖` construction exists to catch.
   template <typename Poll>
   Sub<std::optional<V>> ll_interleaved(int pid, Poll poll) {
     Word cur = co_await Env::cas_read(cell_);
@@ -92,9 +95,11 @@ class CasRllscAlg {
   /// Failed CAS attempts feed their observed word into the re-check.
   Sub<bool> sc(int pid, V desired) {
     Word cur = co_await Env::cas_read(cell_);
+    std::uint32_t attempt = 0;
     while (util::test_bit(cur.ctx, bit(pid))) {
       const CasResult<Word> r = co_await Env::cas(cell_, cur, Word{desired, 0});
       if (r.installed) co_return true;
+      Env::backoff(attempt++);
       cur = r.observed;
     }
     co_return false;
@@ -103,11 +108,13 @@ class CasRllscAlg {
   /// RL(O) — lines 14–20: removes the caller from the context; always true.
   Sub<bool> rl(int pid) {
     Word cur = co_await Env::cas_read(cell_);
+    std::uint32_t attempt = 0;
     while (util::test_bit(cur.ctx, bit(pid))) {
       Word released = cur;
       released.ctx = util::clear_bit(released.ctx, bit(pid));
       const CasResult<Word> r = co_await Env::cas(cell_, cur, released);
       if (r.installed) co_return true;
+      Env::backoff(attempt++);
       cur = r.observed;
     }
     co_return true;

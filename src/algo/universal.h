@@ -301,6 +301,7 @@ class UniversalAlg {
     co_await my_cell.store(Codec::announce_op(my_op_word));  // line 4
 
     const auto poll_helped = [this, pid] { return response_ready(pid); };
+    std::uint32_t combine_waits = 0;
     for (;;) {
       const V mine = co_await my_cell.load();  // line 5
       if (Codec::is_resp(mine)) break;
@@ -317,9 +318,12 @@ class UniversalAlg {
         // flight through the announce cells, so just retry from line 5
         // (ours may be among them). Hand the core back first — on an
         // oversubscribed machine the winner may be preempted mid-phase,
-        // and hard-spinning on its record burns the slice it needs.
+        // and hard-spinning on its record burns the slice it needs — and
+        // apply the Env's bounded backoff so losers ramp their polling
+        // down instead of hammering the head line (no step; sim no-op).
         if (head_view.combining) {
           Env::relax();
+          Env::backoff(combine_waits++);
           continue;
         }
         // This mode never installs mode-B records, so head is mode A here.
@@ -455,6 +459,14 @@ class UniversalAlg {
   }
   bool head_has_response() const {
     return Codec::decode_head(head_.peek_value()).has_response;
+  }
+  /// True while a combining record sits in head (combine mode's winner
+  /// phase). The crash tests stage crashes relative to this window: a
+  /// winner crashed BEFORE installing the record is survivable (the audit
+  /// proves it), one crashed AFTER is the documented blocking window
+  /// (docs/FAULTS.md).
+  bool head_is_combining() const {
+    return Codec::decode_head(head_.peek_value()).combining;
   }
   bool announce_is_bottom(int pid) const {
     return Codec::is_bottom(announce_[pid].peek_value());

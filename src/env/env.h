@@ -419,6 +419,21 @@ typename Bins::template Sub<std::uint32_t> confirm_down(
   co_return val;
 }
 
+/// Bounded exponential backoff for CAS retry loops, configured at the Env
+/// boundary like YieldPolicy (env/fuzz_env.h). Retry loops call
+/// `Env::backoff(attempt)` after each failed CAS: attempt a waits
+/// base_spins << min(attempt, max_exponent) local spins. Purely local
+/// computation — zero shared-memory steps, zero allocations — so the sim
+/// and replay backends define it as a no-op and step-exact tests are
+/// unaffected; only RtEnv/FuzzEnv actually wait. base_spins == 0 (the
+/// default) disables it everywhere: one predictable branch on the retry
+/// path, preserving existing rt behavior unless a harness or bench opts in
+/// via RtEnv::set_backoff (process-wide; set before worker threads start).
+struct BackoffPolicy {
+  std::uint32_t base_spins = 0;   // 0 = disabled (the default)
+  std::uint32_t max_exponent = 8; // spin count caps at base_spins << this
+};
+
 /// Structural requirements every execution environment satisfies. Kept
 /// intentionally shallow (the awaitable-returning statics cannot be
 /// expressed without picking a coroutine context); the real contract is
@@ -433,6 +448,8 @@ concept ExecutionEnv = requires {
   typename E::WordArray;
   typename E::template Op<int>;
   typename E::template Sub<int>;
+  E::relax();
+  E::backoff(0u);
 };
 
 }  // namespace hi::env

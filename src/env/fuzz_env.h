@@ -47,9 +47,31 @@ struct YieldPolicy {
   std::uint32_t max_spins = 48;   // spin backoff length, 1..max
 };
 
+/// Shared release gate for stalled threads. A stalled thread is the
+/// real-thread approximation of a crashed process: it parks at a primitive
+/// boundary for the remainder of the measured run — but a pthread cannot
+/// literally die mid-operation and still be joined, so it parks on this
+/// gate and the harness releases it after the survivors finish (or after a
+/// watchdog fires), letting every thread drain and join. Progress and HI
+/// assertions run BEFORE release_all(), while the stalled threads are
+/// indistinguishable from crashed ones.
+struct StallGate {
+  std::atomic<bool> release{false};
+  std::atomic<int> stalled{0};  // threads currently parked at the gate
+
+  void release_all() { release.store(true, std::memory_order_release); }
+};
+
 /// Per-thread seeded perturbation source. Harness threads arm() it with a
 /// per-(iteration, thread) seed before driving operations and disarm() it
 /// after; FuzzEnv primitives call point() unconditionally.
+///
+/// Stall injection (arm_stall): in addition to the yield/spin perturbation,
+/// a thread may be armed to park on a StallGate at its `stall_after`-th
+/// primitive boundary of the run — the seeded stalled-process adversary.
+/// Which boundary that ordinal lands on follows the thread's own execution
+/// path (retry loops included), so a seed sweep stalls threads at CAS
+/// retries, between announce and install, mid-combining-scan, ...
 class YieldInjector {
  public:
   static void arm(std::uint64_t seed, YieldPolicy policy = {}) {
@@ -59,9 +81,26 @@ class YieldInjector {
     s.armed = true;
     s.points = 0;
     s.injected = 0;
+    s.gate = nullptr;
+    s.stall_after = 0;
+    s.stall_done = false;
   }
 
-  static void disarm() { state().armed = false; }
+  /// Park this thread on `gate` once it has passed `stall_after` further
+  /// primitive boundaries (0 = park at the very next one). Call after
+  /// arm(); cleared by arm()/disarm(). The park happens once per arm.
+  static void arm_stall(StallGate* gate, std::uint64_t stall_after) {
+    State& s = state();
+    s.gate = gate;
+    s.stall_after = s.points + stall_after;
+    s.stall_done = false;
+  }
+
+  static void disarm() {
+    State& s = state();
+    s.armed = false;
+    s.gate = nullptr;
+  }
 
   /// Primitive boundaries seen since arm() on this thread.
   static std::uint64_t points() { return state().points; }
@@ -74,6 +113,18 @@ class YieldInjector {
     State& s = state();
     if (!s.armed) return;
     ++s.points;
+    if (s.gate != nullptr && !s.stall_done && s.points > s.stall_after) {
+      // Stall: park here until the harness opens the gate. From every other
+      // thread's perspective this thread has crash-failed at this primitive
+      // boundary; after release it resumes normally (drain-and-join phase,
+      // excluded from assertions).
+      s.stall_done = true;
+      s.gate->stalled.fetch_add(1, std::memory_order_acq_rel);
+      while (!s.gate->release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      return;
+    }
     if (s.rng.next_below(1000) >= s.policy.permille) return;
     ++s.injected;
     if (s.rng.chance(1, 2)) {
@@ -96,6 +147,9 @@ class YieldInjector {
     bool armed = false;
     std::uint64_t points = 0;
     std::uint64_t injected = 0;
+    StallGate* gate = nullptr;       // non-null: stall armed for this run
+    std::uint64_t stall_after = 0;   // park once points exceeds this
+    bool stall_done = false;         // the one-shot park already happened
   };
 
   static State& state() {
@@ -203,6 +257,12 @@ struct FuzzEnv {
     return RtEnv::cas_is_lock_free(cell);
   }
   static void relax() noexcept { RtEnv::relax(); }
+  /// Backoff shares RtEnv's process-wide policy (local computation only; no
+  /// perturbation point — the injector fences shared-memory accesses, and
+  /// backoff makes none).
+  static void backoff(std::uint32_t attempt) noexcept {
+    RtEnv::backoff(attempt);
+  }
 
   static WordArray make_word_array(Ctx ctx, const char* prefix,
                                    std::uint32_t count, std::uint64_t initial) {

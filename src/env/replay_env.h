@@ -408,6 +408,9 @@ struct ReplayEnv {
   /// shared memory. Replay is single-stepped by the sim scheduler: no-op
   /// (yielding here would perturb nothing but wall time).
   static void relax() noexcept {}
+  /// CAS-retry backoff: no-op for the same reason (replay marches the
+  /// recorded step sequence; local waiting cannot change it).
+  static void backoff(std::uint32_t /*attempt*/) noexcept {}
 
   // ---- arrays of 64-bit CAS words (per-process announce/result tables) ----
 

@@ -442,6 +442,41 @@ struct RtEnv {
   /// (e.g. a flat-combining winner mid-phase) can finish.
   static void relax() noexcept { std::this_thread::yield(); }
 
+  /// Process-wide CAS-retry backoff knob (env.h BackoffPolicy). Plain
+  /// (non-atomic) state: set it before worker threads start and leave it
+  /// for the run — benches flip it between rows, harnesses mostly leave the
+  /// disabled default.
+  static void set_backoff(BackoffPolicy policy) noexcept {
+    backoff_policy() = policy;
+  }
+  static BackoffPolicy get_backoff() noexcept { return backoff_policy(); }
+
+  /// Bounded exponential backoff after the `attempt`-th failed CAS of one
+  /// retry loop: base_spins << min(attempt, max_exponent) local pause
+  /// iterations. Purely local — no step, no shared memory, no allocation —
+  /// so the allocs_per_op == 0 steady-state contract is untouched. Disabled
+  /// (base_spins == 0) this is one predictable branch.
+  static void backoff(std::uint32_t attempt) noexcept {
+    const BackoffPolicy& policy = backoff_policy();
+    if (policy.base_spins == 0) return;
+    const std::uint32_t shift =
+        attempt < policy.max_exponent ? attempt : policy.max_exponent;
+    const std::uint64_t spins = std::uint64_t{policy.base_spins} << shift;
+    for (std::uint64_t i = 0; i < spins; ++i) {
+      // Empty asm keeps the pause loop from being optimized away (same
+      // idiom as YieldInjector's spin arm).
+      asm volatile("");
+    }
+  }
+
+ private:
+  static BackoffPolicy& backoff_policy() noexcept {
+    static BackoffPolicy policy;
+    return policy;
+  }
+
+ public:
+
   // ---- arrays of 64-bit CAS words (per-process announce/result tables) ----
 
   using WordArray = std::vector<rt::WordCell>;

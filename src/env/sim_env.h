@@ -235,6 +235,10 @@ struct SimEnv {
   /// Local scheduling hint for spin retries — never a step, never touches
   /// shared memory. Meaningless under the sim scheduler: no-op.
   static void relax() noexcept {}
+  /// CAS-retry backoff (env.h BackoffPolicy) — local wall-clock waiting has
+  /// no meaning in the step model: no-op, so step-exact tests see identical
+  /// step sequences whatever policy the rt side runs with.
+  static void backoff(std::uint32_t /*attempt*/) noexcept {}
 
   // ---- arrays of 64-bit CAS words (per-process announce/result tables) ----
 

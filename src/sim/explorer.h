@@ -33,6 +33,16 @@
 // the same workload under ExploreMode::kNaive (tests/test_explorer_dpor.cpp
 // asserts both the ratio and history-set equality).
 //
+// Crash enumeration (ExploreLimits::max_crashes > 0): the adversary may
+// also CRASH a mid-operation process instead of granting its step —
+// Scheduler::crash permanently halts it, its operation stays pending
+// forever, and the walk completes when the survivors drain. This enumerates
+// every ≤ k-crash configuration of the workload (crash position × crashed
+// pid), which is what the wait-freedom and crash-point-HI audits quantify
+// over (verify/crash_audit.h). Crash decisions occupy their own mask slots
+// (pid + 32 — so ≤ 32 processes with crashes on) and are conservatively
+// dependent on every other event under DPOR.
+//
 // At every visited configuration the caller's observer runs (memory
 // snapshots for the HI checker at the appropriate observation points); every
 // *complete* execution's history is handed to the caller for linearizability
@@ -60,10 +70,15 @@
 
 namespace hi::sim {
 
-/// One scheduling decision.
+/// One scheduling decision. `crash == true` is the adversary's fault
+/// decision: permanently halt `pid` at its current primitive boundary
+/// (Scheduler::crash); it consumes no step and the pid is never schedulable
+/// again. Existing two-field aggregate literals keep their meaning (crash
+/// defaults to false).
 struct Decision {
   int pid = -1;
   bool start = false;  // true: invoke next op; false: grant one step
+  bool crash = false;  // true: crash-fail the process (start is ignored)
 
   friend bool operator==(const Decision&, const Decision&) = default;
 };
@@ -85,6 +100,15 @@ struct ExploreLimits {
   std::size_t max_depth = 64;
   std::uint64_t max_executions = 2'000'000;
   ExploreMode mode = ExploreMode::kNaive;
+  /// Enumerate crash configurations with at most this many crash failures
+  /// per execution (0 = crash-free exploration, the default). A crash is
+  /// enabled for any mid-operation process; each one multiplies the
+  /// branching factor, so keep workloads small when k > 0. Under kDpor a
+  /// crash decision is conservatively dependent on every other event (the
+  /// issue-level relation "a crash depends on every later step of the
+  /// crashed pid" plus the enabledness edges a halt induces) — sound, with
+  /// reduction still applied to the crash-free segments.
+  std::uint32_t max_crashes = 0;
 };
 
 /// A freshly constructed system under test. The factory must produce an
@@ -157,7 +181,15 @@ class Explorer {
     const int n = r.system->scheduler().num_processes();
     for (const Decision& d : decisions) {
       if (d.pid < 0 || d.pid >= n) return std::nullopt;
-      if (d.start) {
+      if (d.crash) {
+        // Valid exactly where a step would be: a mid-operation, un-crashed
+        // process. (Shrinking does not consult max_crashes — a candidate
+        // subsequence of a valid crash schedule never has more crashes.)
+        if (!r.tasks[d.pid].has_value() ||
+            !r.system->scheduler().runnable(d.pid)) {
+          return std::nullopt;
+        }
+      } else if (d.start) {
         if (r.tasks[d.pid].has_value()) return std::nullopt;
         if (d.pid >= static_cast<int>(workload_.size()) ||
             r.next_op[d.pid] >= workload_[d.pid].size()) {
@@ -184,6 +216,7 @@ class Explorer {
     Hist history;
     int pending = 0;
     int state_changing_pending = 0;
+    std::uint32_t crashes_used = 0;
   };
 
   /// One enabled decision plus the (object, kind) annotation of the
@@ -210,14 +243,32 @@ class Explorer {
 
   static constexpr std::uint64_t bit(int pid) { return std::uint64_t{1} << pid; }
 
+  /// Mask slot of a decision. Start/step decisions of pid p use bit p; the
+  /// crash decision of pid p uses bit p + 32, so "step p" and "crash p" are
+  /// distinct alternatives in the enabled/backtrack/sleep/done sets (a pid
+  /// has at most one non-crash decision enabled at a time, so non-crash
+  /// events still share one slot). Caps processes at 32 when crash
+  /// enumeration is on (replay() asserts).
+  static constexpr int slot(const Decision& d) {
+    return d.crash ? d.pid + 32 : d.pid;
+  }
+  static constexpr std::uint64_t event_bit(const EnabledEvent& e) {
+    return bit(slot(e.d));
+  }
+
   static bool read_only_kind(const char* kind) {
     return std::string_view(kind) == "read";
   }
 
   /// The DPOR dependence relation over executed decisions (see header
   /// comment). `a_resp` / `b_resp`: the decision completed an operation.
+  /// Crash decisions are conservatively dependent on everything: a crash
+  /// disables every later event of its pid (the issue-level dependence) and
+  /// changes which helping paths other processes take, so no commutation is
+  /// assumed — extra interleavings cost executions, never soundness.
   static bool dependent(const EnabledEvent& a, bool a_resp,
                         const EnabledEvent& b, bool b_resp) {
+    if (a.d.crash || b.d.crash) return true;
     if (a.d.pid == b.d.pid) return true;  // program order
     if ((a_resp && b.d.start) || (b_resp && a.d.start)) return true;
     return a.object >= 0 && a.object == b.object &&
@@ -244,8 +295,10 @@ class Explorer {
   /// decision completed an operation.
   Replay replay(std::size_t observe_from, bool* last_completed = nullptr) {
     Replay r = fresh_replay();
-    assert(r.system->scheduler().num_processes() <= 64 &&
-           "exploration process sets are 64-bit pid masks");
+    assert(r.system->scheduler().num_processes() <=
+               (limits_.max_crashes > 0 ? 32 : 64) &&
+           "exploration event sets are 64-bit masks (crash decisions use "
+           "the upper 32 slots)");
     for (std::size_t i = 0; i < prefix_.size(); ++i) {
       const bool completed = apply_decision(r, prefix_[i]);
       if (last_completed != nullptr && i + 1 == prefix_.size()) {
@@ -264,6 +317,15 @@ class Explorer {
   /// its invoking event).
   bool apply_decision(Replay& r, const Decision& d) {
     Scheduler& sched = r.system->scheduler();
+    if (d.crash) {
+      // Fault decision: the pid halts forever. Its pending operation stays
+      // invoked-without-response in the history (the linearizability
+      // checker already lets such ops take effect or not); the suspended
+      // frame is freed when r.tasks[d.pid] is destroyed with the Replay.
+      sched.crash(d.pid);
+      ++r.crashes_used;
+      return false;
+    }
     if (d.start) {
       assert(!r.tasks[d.pid].has_value());
       const Op op = workload_[d.pid][r.next_op[d.pid]++];
@@ -294,11 +356,21 @@ class Explorer {
     std::vector<EnabledEvent> events;
     const Scheduler& sched = r.system->scheduler();
     const int n = sched.num_processes();
+    const bool crash_budget = r.crashes_used < limits_.max_crashes;
     for (int pid = 0; pid < n; ++pid) {
       if (r.tasks[pid].has_value()) {
         if (sched.runnable(pid)) {
           events.push_back({{pid, false}, sched.pending_object(pid),
                             sched.pending_kind(pid)});
+          // The adversary may crash any mid-operation process at its
+          // current primitive boundary instead of granting the step.
+          // (Crashing an idle process only deletes the tail of its
+          // workload — a strictly smaller crash-free workload, so it is
+          // not enumerated separately.)
+          if (crash_budget) {
+            events.push_back(
+                {{pid, false, /*crash=*/true}, -1, TraceStep::kCrashKind});
+          }
         }
       } else if (pid < static_cast<int>(workload_.size()) &&
                  r.next_op[pid] < workload_[pid].size()) {
@@ -308,9 +380,9 @@ class Explorer {
     return events;
   }
 
-  void add_backtrack(Node& node, int pid) {
-    if (node.enabled_mask & bit(pid)) {
-      node.backtrack |= bit(pid);
+  void add_backtrack(Node& node, int event_slot) {
+    if (node.enabled_mask & bit(event_slot)) {
+      node.backtrack |= bit(event_slot);
     } else {
       node.backtrack |= node.enabled_mask;
     }
@@ -319,14 +391,18 @@ class Explorer {
   /// Race detection for the executed event at depth k: every earlier
   /// dependent event of another process marks a backtrack point (the
   /// conservative no-happens-before-filter variant; see header comment).
+  /// Same-pid pairs are skipped as program-ordered (never co-enabled) —
+  /// EXCEPT when the later event is a crash: "crash p" is co-enabled with
+  /// every step of p it follows, and crashing p earlier is a genuinely
+  /// different configuration that must get its own branch.
   void race_detect(std::size_t k) {
     const EnabledEvent taken = nodes_[k].taken;
     const bool completed = nodes_[k].completed;
     for (std::size_t j = 0; j < k; ++j) {
       Node& nj = nodes_[j];
-      if (nj.taken.d.pid == taken.d.pid) continue;
+      if (nj.taken.d.pid == taken.d.pid && !taken.d.crash) continue;
       if (!dependent(nj.taken, nj.completed, taken, completed)) continue;
-      add_backtrack(nj, taken.d.pid);
+      add_backtrack(nj, slot(taken.d));
     }
   }
 
@@ -337,9 +413,9 @@ class Explorer {
     for (const EnabledEvent& e : leaf.enabled) {
       for (std::size_t j = 0; j < depth; ++j) {
         Node& nj = nodes_[j];
-        if (nj.taken.d.pid == e.d.pid) continue;
+        if (nj.taken.d.pid == e.d.pid && !e.d.crash) continue;
         if (!dependent(e, /*a_resp=*/true, nj.taken, nj.completed)) continue;
-        add_backtrack(nj, e.d.pid);
+        add_backtrack(nj, slot(e.d));
       }
     }
   }
@@ -351,11 +427,11 @@ class Explorer {
     if (depth == 0) return 0;
     const Node& parent = nodes_[depth - 1];
     std::uint64_t sleep = 0;
-    std::uint64_t candidates = parent.sleep & ~bit(parent.taken.d.pid);
+    std::uint64_t candidates = parent.sleep & ~event_bit(parent.taken);
     for (const EnabledEvent& q : parent.enabled) {
-      if (!(candidates & bit(q.d.pid))) continue;
+      if (!(candidates & event_bit(q))) continue;
       if (!dependent(q, /*a_resp=*/true, parent.taken, parent.completed)) {
-        sleep |= bit(q.d.pid);
+        sleep |= event_bit(q);
       }
     }
     return sleep;
@@ -392,7 +468,7 @@ class Explorer {
       Node node;
       node.enabled = enabled_events(r);
       for (const EnabledEvent& e : node.enabled) {
-        node.enabled_mask |= bit(e.d.pid);
+        node.enabled_mask |= event_bit(e);
       }
       if (node.enabled.empty()) {
         ++stats_.executions_complete;
@@ -425,7 +501,7 @@ class Explorer {
       // argument), so this node never needs revisiting.
       EnabledEvent chosen{};
       for (const EnabledEvent& e : node.enabled) {
-        if (candidates & bit(e.d.pid)) {
+        if (candidates & event_bit(e)) {
           chosen = e;
           break;
         }
@@ -449,10 +525,17 @@ class Explorer {
       Node& node = nodes_[depth];
       if (dpor) {
         for (const EnabledEvent& e : node.enabled) {
-          if (!(node.sleep & bit(e.d.pid))) {
-            node.backtrack |= bit(e.d.pid);
+          if (!(node.sleep & event_bit(e))) {
+            node.backtrack |= event_bit(e);
             break;
           }
+        }
+        // Crash decisions are dependent on EVERY event, so a persistent set
+        // containing anything must contain every enabled crash decision.
+        // Race detection alone would never schedule them: it only adds
+        // events that some walk executed, and no initial walk takes a crash.
+        for (const EnabledEvent& e : node.enabled) {
+          if (e.d.crash) node.backtrack |= event_bit(e);
         }
       } else {
         node.backtrack = node.enabled_mask;
@@ -466,12 +549,12 @@ class Explorer {
       if (avail == 0) break;
       EnabledEvent chosen{};
       for (const EnabledEvent& e : nodes_[depth].enabled) {
-        if (avail & bit(e.d.pid)) {
+        if (avail & event_bit(e)) {
           chosen = e;
           break;
         }
       }
-      nodes_[depth].done |= bit(chosen.d.pid);
+      nodes_[depth].done |= event_bit(chosen);
       nodes_[depth].taken = chosen;  // child fills .completed after replay
       prefix_.push_back(chosen.d);
       dfs();
@@ -482,7 +565,7 @@ class Explorer {
       }
       // Explored: later siblings may skip it until a dependent event wakes
       // it (sleep-set pruning).
-      nodes_[depth].sleep |= bit(chosen.d.pid);
+      nodes_[depth].sleep |= event_bit(chosen);
     }
     unwind_to(base);
   }

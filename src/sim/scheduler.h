@@ -45,6 +45,7 @@ class Scheduler {
   void start(int pid, OpTask<T>& task) {
     ProcessState& ps = processes_.at(pid);
     assert(!ps.active && "process already has a pending operation");
+    assert(!ps.crashed && "start on a crashed process");
     assert(task.valid());
     if (trace_ != nullptr) trace_->steps.push_back({pid, /*start=*/true});
     task.bind(&ps);
@@ -80,6 +81,37 @@ class Scheduler {
     ps.done = true;
     ps.resume_point = nullptr;
     ps.pending = {};
+  }
+
+  /// Crash-fail process `pid`: it permanently halts at its current primitive
+  /// boundary and never takes another step (§2's crash failures — the event
+  /// the wait-freedom and state-quiescent-HI claims quantify over). Unlike
+  /// abandon(), a crash is a *scheduling decision*: it is recorded in the
+  /// trace (kind "crash"), the pending operation stays pending forever (its
+  /// invocation remains in the history with no response — the
+  /// linearizability checker already treats such ops as may-or-may-not take
+  /// effect), and start()/step() on the pid are rejected from here on. The
+  /// suspended coroutine frame is freed when the owning OpTask is destroyed.
+  /// Crashing an idle process is allowed and only forbids future starts.
+  void crash(int pid) {
+    ProcessState& ps = processes_.at(pid);
+    assert(!ps.crashed && "process already crashed");
+    if (trace_ != nullptr) trace_->steps.push_back(TraceStep::crash(pid));
+    ps.crashed = true;
+    ps.resume_point = nullptr;
+    ps.pending = {};
+  }
+
+  bool crashed(int pid) const { return processes_.at(pid).crashed; }
+
+  /// Pids that have not crashed — the survivors a crash audit drives to
+  /// quiescence.
+  std::vector<int> surviving_processes() const {
+    std::vector<int> pids;
+    for (const ProcessState& ps : processes_) {
+      if (!ps.crashed) pids.push_back(ps.pid);
+    }
+    return pids;
   }
 
   /// Execute one step of process `pid`: its pending primitive plus the local

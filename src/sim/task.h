@@ -41,9 +41,10 @@ struct ProcessState {
   PendingPrimitive pending{};
   bool active = false;  // an operation has been started and not yet finished
   bool done = true;     // current operation's coroutine ran to completion
+  bool crashed = false;  // crash failure: never takes another step (§2 model)
   std::uint64_t steps = 0;  // primitives executed over the process's lifetime
 
-  bool runnable() const { return active && !done && resume_point; }
+  bool runnable() const { return active && !done && !crashed && resume_point; }
 };
 
 namespace detail {

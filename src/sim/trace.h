@@ -34,11 +34,30 @@ namespace hi::sim {
 /// primitive step; `object`/`kind` record WHICH primitive was pending when
 /// the step was granted (the Lemma 16 adversary's observable), and the
 /// replay harness cross-checks both against the re-executing system.
+///
+/// A third event kind rides on the step shape: `kind == "crash"` (with
+/// `object == -1`) records a crash failure — the adversary permanently
+/// halts the process at this point in the schedule; it consumes no step and
+/// the process never appears in the trace again. Encoding crashes as an
+/// annotated step keeps every persisted trace literal valid and lets
+/// crashed schedules record, replay, shrink and pretty-print through the
+/// existing machinery unchanged.
 struct TraceStep {
   int pid = -1;
   bool start = false;
   int object = -1;        // step events: base-object id (-1 = unannotated)
   const char* kind = "";  // step events: primitive kind ("read", "cas", ...)
+
+  static constexpr const char* kCrashKind = "crash";
+
+  /// Crash event for `pid` (the adversary's halt decision, Scheduler::crash).
+  static TraceStep crash(int pid) {
+    return {pid, /*start=*/false, /*object=*/-1, kCrashKind};
+  }
+
+  bool is_crash() const {
+    return !start && std::string_view(kind) == kCrashKind;
+  }
 
   friend bool operator==(const TraceStep& a, const TraceStep& b) {
     return a.pid == b.pid && a.start == b.start && a.object == b.object &&

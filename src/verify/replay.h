@@ -94,6 +94,11 @@ class TraceSide {
 
   bool busy(int pid) const { return tasks_[pid].has_value(); }
   bool runnable(int pid) const { return sched_.runnable(pid); }
+  bool crashed(int pid) const { return sched_.crashed(pid); }
+  /// Crash-fail the pid (trace kind "crash"). Its pending operation — if
+  /// any — stays pending forever; the frame is freed by the destructor's
+  /// abandon-and-reset sweep like any other torn-down operation.
+  void crash(int pid) { sched_.crash(pid); }
   int pending_object(int pid) const { return sched_.pending_object(pid); }
   const char* pending_kind(int pid) const { return sched_.pending_kind(pid); }
   void step(int pid) { sched_.step(pid); }
@@ -181,7 +186,18 @@ ReplayReport replay_differential(
               "systems have " + std::to_string(num_processes) + " processes");
       return report;
     }
-    if (event.start) {
+    if (event.is_crash()) {
+      // Crash events replay on both sides alike: the pid halts, its pending
+      // operation (if any) never responds, and the lockstep march continues
+      // over the survivors — so crashed schedules are differential tests
+      // too (the post-crash survivor steps and memories must still agree).
+      if (sim_side.crashed(event.pid) || replay_side.crashed(event.pid)) {
+        fail(i, "trace crashes an already-crashed pid");
+        return report;
+      }
+      sim_side.crash(event.pid);
+      replay_side.crash(event.pid);
+    } else if (event.start) {
       if (!sim_side.can_start(event.pid) || !replay_side.can_start(event.pid)) {
         fail(i, "trace invokes an operation the workload does not provide");
         return report;

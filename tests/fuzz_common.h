@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -43,6 +44,7 @@
 #include "sim/memory.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
+#include "spec/register_spec.h"
 #include "util/rng.h"
 #include "verify/history.h"
 
@@ -141,6 +143,117 @@ struct BrokenCounterSystem {
   sim::OpTask<std::uint32_t> apply(int pid, NaiveCounterSpec::Op op) {
     return impl.apply(pid, op);
   }
+};
+
+// ---------------------------------------------------------------------------
+// Crash/stall positive controls (verify/crash_audit.h, tests/test_crash.cpp,
+// the rt stall rows in test_fuzz_rt.cpp). Single-source over Env like the
+// real algorithms, so the same bodies run under SimEnv (step-exact crash via
+// Scheduler::crash) and FuzzEnv (stall injection via YieldInjector).
+// ---------------------------------------------------------------------------
+
+/// Lock-based counter: inc() and read() hold a test-and-set spinlock. The
+/// object the crash-progress gate MUST catch — if the lock holder crashes
+/// (or stalls) between acquire and release, every survivor spins in the
+/// acquire loop forever: the progress gate's step budget runs out in the
+/// step model and the rt watchdog fires on real threads. Correct when
+/// nobody crashes (the tier-1 suite keeps it that way), broken under the
+/// fault model — which is exactly the blocking-vs-lock-free boundary the
+/// audit exists to demonstrate.
+template <typename Env>
+class SpinLockCounterAlg {
+ public:
+  template <typename T>
+  using OpT = typename Env::template Op<T>;
+
+  explicit SpinLockCounterAlg(typename Env::Ctx ctx)
+      : words_(Env::make_word_array(ctx, "L", 2, 0)) {}
+
+  OpT<std::uint32_t> apply(int /*pid*/, NaiveCounterSpec::Op op) {
+    if (op.kind == NaiveCounterSpec::Kind::kRead) return read();
+    return inc();
+  }
+
+  OpT<std::uint32_t> inc() {
+    for (;;) {
+      const auto claim = co_await Env::cas_word(words_, kLock, 0, 1);
+      if (claim.installed) break;
+    }
+    const std::uint64_t seen = co_await Env::read_word(words_, kCount);
+    co_await Env::write_word(words_, kCount, seen + 1);
+    co_await Env::write_word(words_, kLock, 0);
+    co_return static_cast<std::uint32_t>(seen + 1);
+  }
+
+  OpT<std::uint32_t> read() {
+    for (;;) {
+      const auto claim = co_await Env::cas_word(words_, kLock, 0, 1);
+      if (claim.installed) break;
+    }
+    const std::uint64_t seen = co_await Env::read_word(words_, kCount);
+    co_await Env::write_word(words_, kLock, 0);
+    co_return static_cast<std::uint32_t>(seen);
+  }
+
+  /// Observer-side: true while some operation holds the lock.
+  bool lock_held() const { return Env::peek_word(words_, kLock) != 0; }
+
+ private:
+  static constexpr std::uint32_t kLock = 0;
+  static constexpr std::uint32_t kCount = 1;
+
+  typename Env::WordArray words_;
+};
+
+/// Deliberately leaky-on-crash register: write(v) journals the OLD value
+/// into a scratch word ("undo log") and clears the journal as its last
+/// step. Crash-free executions are perfectly quiescent-HI — the journal is
+/// always 0 at quiescence — but a write crashed between the journal store
+/// and the clear leaves the PREVIOUS value sitting in shared memory
+/// forever: a seized machine learns state that the surviving abstract state
+/// does not determine, in a word that is not part of the crashed op's own
+/// value cell. The crash-point HI audit (verify::crash_residue with the
+/// value word as the allowed region) must flag it — the second positive
+/// control.
+template <typename Env>
+class LeakyCrashRegisterAlg {
+ public:
+  template <typename T>
+  using OpT = typename Env::template Op<T>;
+
+  LeakyCrashRegisterAlg(typename Env::Ctx ctx, std::uint32_t initial)
+      // Two one-word arrays so each cell takes its own initial value AND
+      // its own base-object id: the value cell registers first (snapshot
+      // object id 0 — the crashed write's own words), the journal second
+      // (id 1 — where the leak lands, outside the allowed region).
+      : value_(Env::make_word_array(ctx, "R.val", 1, initial)),
+        journal_(Env::make_word_array(ctx, "R.jrn", 1, 0)) {}
+
+  OpT<std::uint32_t> apply(int /*pid*/, spec::RegisterSpec::Op op) {
+    if (op.kind == spec::RegisterSpec::Kind::kRead) return read();
+    return write(op.value);
+  }
+
+  OpT<std::uint32_t> write(std::uint32_t value) {
+    const std::uint64_t old = co_await Env::read_word(value_, 0);
+    co_await Env::write_word(journal_, 0, old);  // the leak-to-be
+    co_await Env::write_word(value_, 0, value);
+    co_await Env::write_word(journal_, 0, 0);    // cleaned iff completed
+    co_return 0u;
+  }
+
+  OpT<std::uint32_t> read() {
+    const std::uint64_t seen = co_await Env::read_word(value_, 0);
+    co_return static_cast<std::uint32_t>(seen);
+  }
+
+  /// Observer-side peeks (the rt stall rows read the leak directly).
+  std::uint64_t peek_value() const { return Env::peek_word(value_, 0); }
+  std::uint64_t peek_journal() const { return Env::peek_word(journal_, 0); }
+
+ private:
+  typename Env::WordArray value_;
+  typename Env::WordArray journal_;
 };
 
 // ---------------------------------------------------------------------------
@@ -253,7 +366,7 @@ void run_fuzz_threads(int num_threads, std::uint64_t seed,
 }
 
 // ---------------------------------------------------------------------------
-// Env knobs and artifact dumping.
+// Env knobs.
 // ---------------------------------------------------------------------------
 
 /// Integer env-var knob with a fallback (non-positive or unset → fallback).
@@ -270,6 +383,112 @@ inline int env_int_knob(const char* name, int fallback) {
 inline int rt_fuzz_iters(int fallback) {
   return env_int_knob("HI_RT_FUZZ_ITERS", fallback);
 }
+
+// ---------------------------------------------------------------------------
+// Stall injection + progress watchdog (the rt half of the crash-fault
+// model: a stalled thread is indistinguishable from a crashed one for as
+// long as it stays parked — docs/FAULTS.md).
+// ---------------------------------------------------------------------------
+
+/// Outcome of a stall-injection run.
+struct StallRunResult {
+  /// True iff the survivors stopped completing operations for a full
+  /// watchdog deadline before finishing their workload — the rt analogue
+  /// of the sim progress gate's exhausted step budget. Expected TRUE for
+  /// the lock-based positive control, FALSE for every lock-free object.
+  bool watchdog_fired = false;
+  /// Threads that actually parked at the stall gate (a stall point beyond
+  /// the body's primitive count never engages; tests use small windows).
+  int stalled_engaged = 0;
+};
+
+/// Watchdog deadline for the stall rows: HI_RT_WATCHDOG_MS (default is
+/// deliberately generous so loaded CI machines don't flake; the positive
+/// control overrides it downward to keep the suite fast).
+inline int rt_watchdog_ms(int fallback = 20000) {
+  return env_int_knob("HI_RT_WATCHDOG_MS", fallback);
+}
+
+/// Like run_fuzz_threads, but pids < num_stalled additionally arm a stall:
+/// the thread parks permanently (until released) at a pseudo-random
+/// primitive boundary within its first `stall_window` points. Survivors run
+/// `body(pid)` to completion, bumping `progress` as they go (the body must
+/// increment it at least once per completed operation). The calling thread
+/// acts as the watchdog: if `progress` stops advancing for a full deadline
+/// before all survivors finish, the run is declared stuck. When the
+/// survivors DO finish, `at_quiescence()` runs while the stalled threads
+/// are still parked — the window in which the memory image is exactly what
+/// a crash would have left — and only then is the gate released so every
+/// thread (including a stalled lock holder, un-livelocking any spinning
+/// survivors) can drain and join.
+/// `deadline_ms` < 0 uses the HI_RT_WATCHDOG_MS default; the positive
+/// control passes a short explicit deadline (every firing iteration waits
+/// it out in full).
+template <typename Body, typename AtQuiescence>
+StallRunResult run_stall_threads(int num_threads, int num_stalled,
+                                 std::uint64_t seed, env::YieldPolicy policy,
+                                 std::uint64_t stall_window,
+                                 std::atomic<std::uint64_t>& progress,
+                                 Body&& body, AtQuiescence&& at_quiescence,
+                                 int deadline_ms = -1) {
+  StallRunResult result;
+  env::StallGate gate;
+  std::atomic<int> survivors_done{0};
+  const int num_survivors = num_threads - num_stalled;
+
+  std::barrier start(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(num_threads));
+  for (int pid = 0; pid < num_threads; ++pid) {
+    workers.emplace_back([&, pid] {
+      env::YieldInjector::arm(
+          util::hash_combine(seed, static_cast<std::uint64_t>(pid) + 1),
+          policy);
+      if (pid < num_stalled) {
+        const std::uint64_t window = stall_window == 0 ? 1 : stall_window;
+        env::YieldInjector::arm_stall(
+            &gate,
+            util::hash_combine(seed, static_cast<std::uint64_t>(pid) + 101) %
+                window);
+      }
+      start.arrive_and_wait();
+      body(pid);
+      if (pid >= num_stalled) {
+        survivors_done.fetch_add(1, std::memory_order_release);
+      }
+      env::YieldInjector::disarm();
+    });
+  }
+
+  const auto deadline = std::chrono::milliseconds(
+      deadline_ms < 0 ? rt_watchdog_ms() : deadline_ms);
+  std::uint64_t last_progress = progress.load(std::memory_order_acquire);
+  auto last_change = std::chrono::steady_clock::now();
+  while (survivors_done.load(std::memory_order_acquire) < num_survivors) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::uint64_t now_progress =
+        progress.load(std::memory_order_acquire);
+    if (now_progress != last_progress) {
+      last_progress = now_progress;
+      last_change = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (std::chrono::steady_clock::now() - last_change > deadline) {
+      result.watchdog_fired = true;
+      break;
+    }
+  }
+
+  if (!result.watchdog_fired) at_quiescence();
+  result.stalled_engaged = gate.stalled.load(std::memory_order_acquire);
+  gate.release_all();
+  for (auto& worker : workers) worker.join();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Artifact dumping.
+// ---------------------------------------------------------------------------
 
 /// Persists `text` as $HI_TRACE_DUMP_DIR/<name>.txt so a scheduled CI run
 /// can upload failing traces as artifacts. No-op when the var is unset

@@ -30,10 +30,14 @@
 // injection streams.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <vector>
 
 #include "algo/hi_set.h"
@@ -739,6 +743,204 @@ TEST(FuzzRt, LeakyUniversalCounter_Linearizable) {
       },
       [](Alg&, auto&) {},  // lin-only: no image to pin
       [](Alg&, const auto&, const auto&, std::uint64_t) {});
+}
+
+// ------------------------------------------------- stalled-process rows
+//
+// The rt half of the crash model (docs/FAULTS.md): a thread parked forever
+// at a primitive boundary (env::YieldInjector::arm_stall) is
+// indistinguishable from a crashed one to every survivor. The progress
+// watchdog in run_stall_threads converts "survivors stopped completing
+// operations" into a failing test. The recorder only logs an op once its
+// body returns, so a parked op is invisible to the history — these rows
+// check object-level invariants at quiescence (inc-only scripts make the
+// counter accounting exact) instead of linearizability.
+
+TEST(StallRt, PositiveControl_SpinLockWatchdogCatchesStalledLockHolder) {
+  // The lock-based counter under a stalled thread: whenever the stall point
+  // lands inside the critical section (3 of the 4 boundaries of an inc),
+  // the survivors spin on the dead thread's lock forever and the watchdog
+  // must fire. Short explicit deadline: every firing iteration waits it out.
+  bool fired = false;
+  int engaged = 0;
+  for (int iter = 0; iter < 8 && !fired; ++iter) {
+    const std::uint64_t seed =
+        util::hash_combine(0xc301, static_cast<std::uint64_t>(iter));
+    testing::SpinLockCounterAlg<FuzzEnv> counter{FuzzEnv::Ctx{}};
+    std::atomic<std::uint64_t> progress{0};
+    const auto result = testing::run_stall_threads(
+        /*num_threads=*/3, /*num_stalled=*/1, seed, env::YieldPolicy{},
+        /*stall_window=*/4, progress,
+        [&](int) {
+          for (int i = 0; i < 2; ++i) {
+            (void)counter.inc().get();
+            progress.fetch_add(1, std::memory_order_release);
+          }
+        },
+        [] {}, /*deadline_ms=*/400);
+    fired = result.watchdog_fired;
+    engaged += result.stalled_engaged;
+  }
+  EXPECT_TRUE(fired)
+      << "no stall point ever wedged the lock-based counter — the progress "
+         "watchdog's positive control is broken";
+  EXPECT_GT(engaged, 0);
+}
+
+TEST(StallRt, UniversalCounter_SurvivorsCompleteWithStalledThread) {
+  // Plain universal construction, one of three threads parked mid-inc: the
+  // survivors must keep completing (lock-freedom does not depend on the
+  // parked thread), and the quiescent counter accounts for every completed
+  // inc plus AT MOST one helped parked inc.
+  const int n = 3;
+  const spec::CounterSpec spec(1u << 20, 10);
+  using Alg = algo::UniversalAlg<FuzzEnv, spec::CounterSpec,
+                                 algo::CasRllscAlg<FuzzEnv>>;
+  const int iters = testing::rt_fuzz_iters(5);
+  for (int iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed =
+        util::hash_combine(0xc302, static_cast<std::uint64_t>(iter));
+    Alg obj(FuzzEnv::Ctx{}, spec, n);
+    std::atomic<std::uint64_t> progress{0};
+    std::array<std::atomic<std::uint64_t>, 3> completed{};
+    const auto result = testing::run_stall_threads(
+        n, /*num_stalled=*/1, seed, env::YieldPolicy{},
+        /*stall_window=*/8, progress,
+        [&](int pid) {
+          for (int i = 0; i < 5; ++i) {
+            (void)obj.apply(pid, spec::CounterSpec::inc()).get();
+            progress.fetch_add(1, std::memory_order_release);
+            completed[static_cast<std::size_t>(pid)].fetch_add(
+                1, std::memory_order_release);
+          }
+        },
+        [&] {
+          // Quiescence window: survivors done, the stalled thread still
+          // parked — exactly the image a crash would have left.
+          const std::uint64_t done =
+              completed[0].load() + completed[1].load() + completed[2].load();
+          const std::uint64_t head = obj.head_state_encoded();
+          EXPECT_GE(head, 10 + done) << "seed " << seed;
+          EXPECT_LE(head, 10 + done + 1)
+              << "seed " << seed
+              << ": more than the one parked inc unaccounted for";
+        });
+    if (result.watchdog_fired) {
+      std::ostringstream note;
+      note << "universal-counter stall row wedged at seed " << seed
+           << " (stalled_engaged=" << result.stalled_engaged << ")";
+      testing::dump_failing_trace("stall_universal_watchdog", note.str());
+    }
+    ASSERT_FALSE(result.watchdog_fired)
+        << "survivors of the lock-free universal construction stopped "
+           "completing with one thread parked, seed "
+        << seed;
+  }
+}
+
+TEST(StallRt, WaitFreeSim_WriterUnaffectedByStalledSlowPathReader) {
+  // Wait-free simulation combinator with fast_limit = 0 (every read
+  // announces + enqueues): thread 0 is a reader and gets parked somewhere
+  // in its announce/enqueue/help window. The writer and the other reader
+  // must finish regardless, and the quiescent inner image is the unit
+  // vector of the final write — the parked read leaves no trace in the
+  // bins, wherever it stopped.
+  const std::uint32_t k = 6;
+  const spec::RegisterSpec spec(k, 1);
+  using Alg = algo::WaitFreeSimHiAlg<FuzzEnv, FuzzPacked>;
+  const int iters = testing::rt_fuzz_iters(5);
+  for (int iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed =
+        util::hash_combine(0xc303, static_cast<std::uint64_t>(iter));
+    Alg reg(FuzzEnv::Ctx{}, k, 1, /*num_processes=*/3, /*fast_limit=*/0);
+    std::atomic<std::uint64_t> progress{0};
+    const auto result = testing::run_stall_threads(
+        /*num_threads=*/3, /*num_stalled=*/1, seed, env::YieldPolicy{},
+        /*stall_window=*/12, progress,
+        [&](int pid) {
+          if (pid == 1) {
+            for (std::uint32_t v = 2; v <= 6; ++v) {
+              (void)reg.write(1, v).get();
+              progress.fetch_add(1, std::memory_order_release);
+            }
+          } else {
+            for (int i = 0; i < 4; ++i) {
+              const std::uint32_t seen = reg.read(pid).get();
+              EXPECT_GE(seen, 1u);
+              EXPECT_LE(seen, 6u);
+              progress.fetch_add(1, std::memory_order_release);
+            }
+          }
+        },
+        [&] {
+          std::vector<std::uint8_t> expected(k, 0);
+          expected[6 - 1] = 1;  // the writer's last completed write
+          std::vector<std::uint8_t> inner;
+          reg.encode_inner_memory(inner);
+          EXPECT_EQ(inner, expected)
+              << "parked slow-path reader left residue in the inner bins at "
+                 "seed "
+              << seed;
+        });
+    if (result.watchdog_fired) {
+      std::ostringstream note;
+      note << "wait-free-sim stall row wedged at seed " << seed
+           << " (stalled_engaged=" << result.stalled_engaged << ")";
+      testing::dump_failing_trace("stall_wfs_watchdog", note.str());
+    }
+    ASSERT_FALSE(result.watchdog_fired)
+        << "wait-free survivors stopped completing with a parked reader, "
+           "seed "
+        << seed;
+  }
+}
+
+TEST(StallRt, CombiningUniversal_StalledCombinerDocumentedBlockingWindow) {
+  // Flat-combining mode, one thread parked: when the park lands while that
+  // thread holds the combining record, survivors legitimately spin on it —
+  // the documented blocking window (docs/FAULTS.md), the rt analogue of
+  // CrashAudit.CombiningUniversalWinnerCrashedMidBatchBlocks. Outside that
+  // window survivors must finish with exact counter accounting. The row
+  // asserts both outcomes occur nowhere they shouldn't: a non-fired run
+  // must balance the books, and across the seed sweep at least one run
+  // must complete (the blocking window is a window, not the whole op).
+  const int n = 3;
+  const spec::CounterSpec spec(1u << 20, 10);
+  using Alg = algo::UniversalAlg<FuzzEnv, spec::CounterSpec,
+                                 algo::CasRllscAlg<FuzzEnv>>;
+  int completed_runs = 0;
+  const int iters = std::max(4, testing::rt_fuzz_iters(5));
+  for (int iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed =
+        util::hash_combine(0xc304, static_cast<std::uint64_t>(iter));
+    Alg obj(FuzzEnv::Ctx{}, spec, n, /*clear_contexts=*/true,
+            /*combine=*/true);
+    std::atomic<std::uint64_t> progress{0};
+    std::array<std::atomic<std::uint64_t>, 3> completed{};
+    const auto result = testing::run_stall_threads(
+        n, /*num_stalled=*/1, seed, env::YieldPolicy{},
+        /*stall_window=*/10, progress,
+        [&](int pid) {
+          for (int i = 0; i < 5; ++i) {
+            (void)obj.apply(pid, spec::CounterSpec::inc()).get();
+            progress.fetch_add(1, std::memory_order_release);
+            completed[static_cast<std::size_t>(pid)].fetch_add(
+                1, std::memory_order_release);
+          }
+        },
+        [&] {
+          const std::uint64_t done =
+              completed[0].load() + completed[1].load() + completed[2].load();
+          const std::uint64_t head = obj.head_state_encoded();
+          EXPECT_GE(head, 10 + done) << "seed " << seed;
+          EXPECT_LE(head, 10 + done + 1) << "seed " << seed;
+        },
+        /*deadline_ms=*/2'000);
+    if (!result.watchdog_fired) ++completed_runs;
+  }
+  EXPECT_GT(completed_runs, 0)
+      << "every stall point blocked the combining universal — the blocking "
+         "window should be the combining-record hold, not the entire op";
 }
 
 }  // namespace

@@ -48,7 +48,7 @@ import os
 import sys
 
 DEFAULT_SUITES = ["registers", "rllsc", "universal", "max_register", "hi_set",
-                  "sharded", "waitfree_sim", "traffic"]
+                  "sharded", "waitfree_sim", "traffic", "degradation"]
 
 REQUIRED_ROW_KEYS = ("name", "threads", "ops_per_sec", "p50_ns", "p99_ns",
                      "allocs_per_op", "bytes_per_object")
@@ -253,6 +253,81 @@ def check_traffic_suite(doc):
                     f"{name}: achieved_load={achieved:.0f} exceeds "
                     f"offered_load={offered:.0f} by more than 2% — the "
                     "open-loop pacer or the accounting is broken")
+    return failures
+
+
+# Stall-sweep families the degradation suite must emit in full: family
+# prefix -> total thread count n (rows are "<family>_stall<k>of<n>" for
+# every k in 0..n-1). Alg 4 is SWSR, so its sweep is the 2-thread
+# configuration; the others run 3 threads.
+DEGRADATION_FAMILIES = {
+    "universal/plain": 3,
+    "universal/combine": 3,
+    "wfs/sim": 3,
+    "alg4/native": 2,
+}
+
+DEGRADATION_BACKOFF_ROWS = ("rllsc/contended_backoff_off",
+                            "rllsc/contended_backoff_on")
+
+
+def check_degradation_suite(doc):
+    """Graceful-degradation suite bounds (bench/bench_degradation.cpp,
+    docs/FAULTS.md "Reading the degradation book"):
+
+    * COMPLETE SWEEPS — every family in DEGRADATION_FAMILIES must appear at
+      every stall count k in 0..n-1. A missing row means the emitter and
+      the gate drifted apart, or a stalled configuration hung and its row
+      was silently dropped — the exact outcome this suite exists to expose.
+
+    * SURVIVOR PROGRESS — every stall row must report ops_per_sec > 0.
+      All four families are lock-free or wait-free, so survivors MUST keep
+      completing operations no matter how many peers are parked mid-op
+      (k < n); zero survivor throughput is the perf-book face of the
+      progress-gate failure the crash audits catch in the sim.
+
+    * wfs/sim rows must carry slow_path_entry_rate in [0, 1] (stalled
+      readers pushing survivors onto the slow path is the mechanism being
+      measured) and alg4/native control rows must pin exactly 0.0 (no slow
+      path exists to enter).
+
+    * The rllsc/contended_backoff_{off,on} A/B pair must both be present —
+      the bounded-backoff policy is only interpretable against its own
+      control row from the same run.
+    """
+    failures = []
+    rows = {row.get("name"): row for row in doc.get("results", [])}
+    for family, n in sorted(DEGRADATION_FAMILIES.items()):
+        for k in range(n):
+            name = f"{family}_stall{k}of{n}"
+            row = rows.get(name)
+            if row is None:
+                failures.append(
+                    f"missing stall row {name!r} — the k-sweep for "
+                    f"{family} must cover every k in 0..{n - 1}")
+                continue
+            ops = row.get("ops_per_sec")
+            if not isinstance(ops, (int, float)) or ops <= 0:
+                failures.append(
+                    f"{name}: ops_per_sec={ops!r} — survivors of a "
+                    "lock-free/wait-free object must keep completing ops "
+                    f"with {k} of {n} threads stalled")
+            rate = row.get("slow_path_entry_rate")
+            if family == "wfs/sim":
+                if not isinstance(rate, (int, float)) or \
+                        not 0.0 <= rate <= 1.0:
+                    failures.append(
+                        f"{name}: slow_path_entry_rate={rate!r} missing or "
+                        "outside [0, 1]")
+            elif family == "alg4/native" and rate != 0.0:
+                failures.append(
+                    f"{name}: slow_path_entry_rate={rate!r} but the native "
+                    "Alg 4 register has no slow path (must pin 0.0)")
+    for name in DEGRADATION_BACKOFF_ROWS:
+        if name not in rows:
+            failures.append(
+                f"missing backoff A/B row {name!r} — the policy row is "
+                "only interpretable against its control from the same run")
     return failures
 
 
@@ -469,6 +544,56 @@ def self_test():
                            offered_load=2e5, achieved_load=2.03e5)])),
            "traffic: achieved within the 2% jitter slack passes")
 
+    # Degradation suite: sweep completeness / survivor progress / rates /
+    # the backoff A/B pair.
+    def _degradation_rows():
+        rows = []
+        for family, n in DEGRADATION_FAMILIES.items():
+            for k in range(n):
+                rate = {"wfs/sim": 0.2, "alg4/native": 0.0}.get(family, -1.0)
+                row = _synthetic_row(f"{family}_stall{k}of{n}", threads=n)
+                if rate >= 0:
+                    row["slow_path_entry_rate"] = rate
+                rows.append(row)
+        rows.extend(_synthetic_row(name, threads=3)
+                    for name in DEGRADATION_BACKOFF_ROWS)
+        return rows
+
+    deg_good = _synthetic_doc("degradation", _degradation_rows())
+    expect(not check_degradation_suite(deg_good),
+           "degradation: complete sweeps with positive survivor throughput "
+           "pass")
+    deg_missing = _synthetic_doc("degradation", [
+        r for r in _degradation_rows()
+        if r["name"] != "universal/combine_stall2of3"])
+    expect(any("missing stall row" in f
+               for f in check_degradation_suite(deg_missing)),
+           "degradation: a k-sweep with a missing stall count fails")
+    deg_stuck = _synthetic_doc("degradation", _degradation_rows())
+    for row in deg_stuck["results"]:
+        if row["name"] == "wfs/sim_stall2of3":
+            row["ops_per_sec"] = 0.0
+    expect(any("survivors" in f for f in check_degradation_suite(deg_stuck)),
+           "degradation: zero survivor throughput under stalls fails")
+    deg_rate = _synthetic_doc("degradation", _degradation_rows())
+    for row in deg_rate["results"]:
+        if row["name"] == "wfs/sim_stall1of3":
+            row["slow_path_entry_rate"] = 1.5
+    expect(any("outside [0, 1]" in f
+               for f in check_degradation_suite(deg_rate)),
+           "degradation: a wfs rate outside [0,1] fails")
+    deg_ctrl = _synthetic_doc("degradation", _degradation_rows())
+    for row in deg_ctrl["results"]:
+        if row["name"] == "alg4/native_stall0of2":
+            row["slow_path_entry_rate"] = 0.3
+    expect(any("no slow path" in f for f in check_degradation_suite(deg_ctrl)),
+           "degradation: an alg4 control row off the 0.0 pin fails")
+    deg_ab = _synthetic_doc("degradation", [
+        r for r in _degradation_rows()
+        if r["name"] != "rllsc/contended_backoff_on"])
+    expect(any("backoff A/B" in f for f in check_degradation_suite(deg_ab)),
+           "degradation: a missing backoff A/B row fails")
+
     # Throughput warnings.
     fresh = _synthetic_doc("registers",
                            [_synthetic_row("w/1", ops_per_sec=8e5)])
@@ -555,6 +680,9 @@ def main():
         if suite == "traffic":
             failures.extend(
                 f"traffic: {f}" for f in check_traffic_suite(fresh))
+        if suite == "degradation":
+            failures.extend(
+                f"degradation: {f}" for f in check_degradation_suite(fresh))
 
         baseline = None
         if args.baseline:
